@@ -1,0 +1,144 @@
+// Ablation study of PivotScale's design choices (Sections IV & V):
+//
+//  1. Early termination (Section V-A): counting with the pruning rules
+//     disabled — same counts, how much more work?
+//  2. All-k-up-to-k mode (Section V-A): the paper claims every clique size
+//     up through k costs "only a modest amount of additional work" over
+//     single-k; measure the overhead.
+//  3. Scheduling (Section IV): the paper sweeps chunk sizes and scheduler
+//     types and finds load balance is a minor factor; replay the work
+//     trace under static and dynamic scheduling with several chunk sizes.
+#include <iostream>
+
+#include "bench_common.h"
+#include "graph/dag.h"
+#include "order/core_order.h"
+#include "pivot/count.h"
+#include "sim/scaling_sim.h"
+#include "util/table.h"
+#include "util/timer.h"
+
+using namespace pivotscale;
+
+int main(int argc, char** argv) {
+  ArgParser args(argc, argv);
+  // Default to a representative subset to keep the bare run bounded.
+  if (!args.Has("datasets")) {
+    TablePrinter note("Ablations (defaults: 3 representative graphs; use "
+                      "--datasets for more)",
+                      {"section"});
+    note.AddRow({"1: early termination  2: all-k overhead  3: scheduling"});
+    note.Print();
+  }
+  const auto suite = [&] {
+    if (args.Has("datasets")) return bench::LoadSuite(args);
+    std::vector<Dataset> s;
+    for (const char* name :
+         {"dblp-like", "skitter-like", "livejournal-like"})
+      s.push_back(MakeDataset(name, args.GetDouble("scale", 1.0)));
+    return s;
+  }();
+  const auto k = static_cast<std::uint32_t>(args.GetInt("k", 8));
+
+  // --- 1 & 2: recursion-mode ablations -----------------------------------
+  TablePrinter modes("Ablation: early termination and all-k overhead (k=" +
+                         std::to_string(k) + ", seconds / edge-ops ratio)",
+                     {"graph", "single-k (s)", "no-early-term (s)",
+                      "slowdown", "ops ratio", "all-up-to-k (s)",
+                      "overhead vs single-k"});
+  for (const Dataset& d : suite) {
+    const Graph dag = Directionalize(d.graph, CoreOrdering(d.graph).ranks);
+
+    CountOptions base;
+    base.k = k;
+    base.collect_op_stats = true;
+    Timer t1;
+    const CountResult with_term = CountCliques(dag, base);
+    const double base_seconds = t1.Seconds();
+
+    CountOptions no_term = base;
+    no_term.early_termination = false;
+    Timer t2;
+    const CountResult without_term = CountCliques(dag, no_term);
+    const double no_term_seconds = t2.Seconds();
+    if (with_term.total != without_term.total) {
+      std::cerr << "ABLATION MISMATCH on " << d.name << "\n";
+      return 1;
+    }
+
+    CountOptions upto = base;
+    upto.mode = CountMode::kAllUpToK;
+    Timer t3;
+    CountCliques(dag, upto);
+    const double upto_seconds = t3.Seconds();
+
+    modes.AddRow(
+        {d.name, TablePrinter::Cell(base_seconds, 3),
+         TablePrinter::Cell(no_term_seconds, 3),
+         TablePrinter::Cell(no_term_seconds / base_seconds, 2),
+         TablePrinter::Cell(static_cast<double>(without_term.ops.edge_ops) /
+                                static_cast<double>(with_term.ops.edge_ops),
+                            2),
+         TablePrinter::Cell(upto_seconds, 3),
+         TablePrinter::Cell(upto_seconds / base_seconds, 2)});
+  }
+  modes.Print();
+  std::cout << "\n";
+
+  // --- work decomposition: vertex-parallel vs edge-parallel --------------
+  TablePrinter decomp(
+      "Ablation: work decomposition (k=" + std::to_string(k) +
+          ", measured seconds + per-item balance)",
+      {"graph", "vertex-parallel (s)", "edge-parallel (s)",
+       "edge/vertex ratio"});
+  for (const Dataset& d : suite) {
+    const Graph dag = Directionalize(d.graph, CoreOrdering(d.graph).ranks);
+    CountOptions options;
+    options.k = k;
+    Timer tv;
+    const CountResult vertex = CountCliques(dag, options);
+    const double vertex_seconds = tv.Seconds();
+    Timer te;
+    const CountResult edge = CountCliquesEdgeParallel(dag, options);
+    const double edge_seconds = te.Seconds();
+    if (vertex.total != edge.total) {
+      std::cerr << "DECOMPOSITION MISMATCH on " << d.name << "\n";
+      return 1;
+    }
+    decomp.AddRow({d.name, TablePrinter::Cell(vertex_seconds, 3),
+                   TablePrinter::Cell(edge_seconds, 3),
+                   TablePrinter::Cell(edge_seconds / vertex_seconds, 2)});
+  }
+  decomp.Print();
+  std::cout << "\n";
+
+  // --- 3: scheduling ablation (simulated 64 threads) ---------------------
+  TablePrinter sched(
+      "Ablation: scheduling policy, simulated speedup at 64 threads",
+      {"graph", "static", "dynamic c=1", "dynamic c=16", "dynamic c=64",
+       "dynamic c=256"});
+  for (const Dataset& d : suite) {
+    const Graph dag = Directionalize(d.graph, CoreOrdering(d.graph).ranks);
+    CountOptions options;
+    options.k = k;
+    options.collect_work_trace = true;
+    options.num_threads = 1;
+    const CountResult result = CountCliques(dag, options);
+
+    std::vector<std::string> row = {d.name};
+    ScalingSimConfig config;
+    config.num_threads = 64;
+    config.static_schedule = true;
+    row.push_back(TablePrinter::Cell(
+        SimulateSpeedup(result.work_trace, config), 1));
+    config.static_schedule = false;
+    for (int chunk : {1, 16, 64, 256}) {
+      config.chunk_size = chunk;
+      row.push_back(TablePrinter::Cell(
+          SimulateSpeedup(result.work_trace, config), 1));
+    }
+    sched.AddRow(std::move(row));
+  }
+  sched.Print();
+  return 0;
+}

@@ -1,0 +1,50 @@
+// Figure 9: counting performance of the three subgraph structures
+// normalized to dense (higher is better). The paper's result: remap >=
+// dense >= sparse in speed, with remap and sparse using far less memory
+// (see bench/memory_study for the memory side).
+#include <iostream>
+
+#include "bench_common.h"
+#include "graph/dag.h"
+#include "order/core_order.h"
+#include "pivot/count.h"
+#include "util/table.h"
+#include "util/timer.h"
+
+using namespace pivotscale;
+
+int main(int argc, char** argv) {
+  ArgParser args(argc, argv);
+  const auto suite = bench::LoadSuite(args);
+  const auto k = static_cast<std::uint32_t>(args.GetInt("k", 8));
+
+  TablePrinter table(
+      "Figure 9: counting throughput normalized to dense (k=" +
+          std::to_string(k) + ", higher is better)",
+      {"graph", "dense", "sparse", "remap", "dense (s)", "sparse (s)",
+       "remap (s)"});
+
+  for (const Dataset& d : suite) {
+    const Graph dag = Directionalize(d.graph, CoreOrdering(d.graph).ranks);
+    double seconds[3] = {0, 0, 0};
+    const SubgraphKind kinds[3] = {SubgraphKind::kDense,
+                                   SubgraphKind::kSparse,
+                                   SubgraphKind::kRemap};
+    for (int i = 0; i < 3; ++i) {
+      CountOptions options;
+      options.k = k;
+      options.structure = kinds[i];
+      Timer timer;
+      CountCliques(dag, options);
+      seconds[i] = timer.Seconds();
+    }
+    table.AddRow({d.name, TablePrinter::Cell(1.0, 2),
+                  TablePrinter::Cell(seconds[0] / seconds[1], 2),
+                  TablePrinter::Cell(seconds[0] / seconds[2], 2),
+                  TablePrinter::Cell(seconds[0], 3),
+                  TablePrinter::Cell(seconds[1], 3),
+                  TablePrinter::Cell(seconds[2], 3)});
+  }
+  table.Print();
+  return 0;
+}

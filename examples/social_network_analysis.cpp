@@ -1,0 +1,86 @@
+// Social-network analysis with per-vertex clique counts.
+//
+// The paper's conclusion notes that per-vertex k-clique counts are a simple
+// extension of PivotScale; this example uses them the way social-network
+// analysts do: ranking users by their participation in dense groups
+// (k-clique membership is a strong cohesion signal — far stronger than
+// degree) and comparing the two rankings.
+//
+// Usage: social_network_analysis [--graph path.el] [--k 5] [--top 10]
+#include <algorithm>
+#include <iostream>
+#include <vector>
+
+#include "pivotscale.h"
+#include "util/cli.h"
+#include "util/table.h"
+
+using namespace pivotscale;
+
+int main(int argc, char** argv) {
+  ArgParser args(argc, argv);
+  const auto k = static_cast<std::uint32_t>(args.GetInt("k", 5));
+  const auto top = static_cast<std::size_t>(args.GetInt("top", 10));
+  const std::string path = args.GetString("graph", "");
+
+  Graph g;
+  if (!path.empty()) {
+    g = LoadGraph(path);
+  } else {
+    // A social network with community structure plus celebrity hubs.
+    EdgeList edges = CommunityModel(/*n=*/8000, /*communities=*/1500,
+                                    /*min_size=*/3, /*max_size=*/10,
+                                    /*intra_p=*/0.85, /*seed=*/7);
+    EdgeList hubs = StarHeavy(8000, 4, 0.05, 8);
+    edges.insert(edges.end(), hubs.begin(), hubs.end());
+    PlantCliques(&edges, 8000, 8, 10, 16, 9);
+    g = BuildGraph(std::move(edges));
+  }
+  std::cout << "graph: " << g.NumNodes() << " vertices, "
+            << g.NumUndirectedEdges() << " edges\n";
+
+  // Count with per-vertex attribution through the full pipeline.
+  PivotScaleOptions options;
+  options.k = k;
+  options.heuristic.min_nodes = 1000;
+  options.count.per_vertex = true;
+  const PivotScaleResult result = CountKCliques(g, options);
+  std::cout << result.total.ToString() << " " << k << "-cliques ("
+            << result.ordering_name << " ordering, "
+            << TablePrinter::Cell(result.total_seconds, 3) << "s)\n\n";
+
+  // Rank vertices by clique participation and by degree, and show how the
+  // two disagree: hubs top the degree list, but clique membership finds
+  // the community cores.
+  std::vector<NodeId> by_cliques(g.NumNodes()), by_degree(g.NumNodes());
+  for (NodeId v = 0; v < g.NumNodes(); ++v) by_cliques[v] = by_degree[v] = v;
+  const auto& pv = result.count.per_vertex;
+  std::sort(by_cliques.begin(), by_cliques.end(),
+            [&](NodeId a, NodeId b) { return pv[b] < pv[a]; });
+  std::sort(by_degree.begin(), by_degree.end(), [&](NodeId a, NodeId b) {
+    return g.Degree(b) < g.Degree(a);
+  });
+
+  TablePrinter table("top vertices: clique participation vs degree",
+                     {"rank", "by cliques", "clique count", "degree",
+                      "by degree", "its cliques", "its degree"});
+  for (std::size_t r = 0; r < std::min(top, std::size_t{g.NumNodes()});
+       ++r) {
+    const NodeId c = by_cliques[r], d = by_degree[r];
+    table.AddRow({TablePrinter::Cell(std::uint64_t{r + 1}),
+                  TablePrinter::Cell(std::uint64_t{c}), pv[c].ToString(),
+                  TablePrinter::Cell(std::uint64_t{g.Degree(c)}),
+                  TablePrinter::Cell(std::uint64_t{d}), pv[d].ToString(),
+                  TablePrinter::Cell(std::uint64_t{g.Degree(d)})});
+  }
+  table.Print();
+
+  // Sanity check from the counting identity: per-vertex counts sum to
+  // k times the total (each clique has k members).
+  BigCount sum{};
+  for (const BigCount& c : pv) sum += c;
+  std::cout << "\nidentity check: sum(per-vertex) = "
+            << sum.ToString() << " = " << k << " x "
+            << result.total.ToString() << "\n";
+  return 0;
+}

@@ -1,0 +1,115 @@
+#include "analysis/ktruss.h"
+
+#include <algorithm>
+#include <queue>
+
+#include <unordered_map>
+
+namespace pivotscale {
+
+namespace {
+
+// Edge-id lookup: edges are (u, v) with u < v, indexed by their position in
+// the decomposition's edge array. The map key packs both endpoints.
+std::uint64_t EdgeKey(NodeId u, NodeId v) {
+  if (u > v) std::swap(u, v);
+  return (static_cast<std::uint64_t>(u) << 32) | v;
+}
+
+}  // namespace
+
+TrussDecomposition ComputeTrussDecomposition(const Graph& g) {
+  TrussDecomposition result;
+  for (NodeId u = 0; u < g.NumNodes(); ++u)
+    for (NodeId v : g.Neighbors(u))
+      if (u < v) result.edges.emplace_back(u, v);
+  const std::size_t m = result.edges.size();
+  result.trussness.assign(m, 2);
+  if (m == 0) return result;
+
+  std::unordered_map<std::uint64_t, std::uint32_t> edge_id;
+  edge_id.reserve(m * 2);
+  for (std::uint32_t e = 0; e < m; ++e)
+    edge_id.emplace(EdgeKey(result.edges[e].first, result.edges[e].second),
+                    e);
+
+  // Initial support: triangles through each edge, via the smaller
+  // endpoint's neighborhood.
+  std::vector<std::uint32_t> support(m, 0);
+  for (std::uint32_t e = 0; e < m; ++e) {
+    const auto [u, v] = result.edges[e];
+    const auto nu = g.Neighbors(u);
+    const auto nv = g.Neighbors(v);
+    std::size_t i = 0, j = 0;
+    while (i < nu.size() && j < nv.size()) {
+      if (nu[i] < nv[j]) {
+        ++i;
+      } else if (nu[i] > nv[j]) {
+        ++j;
+      } else {
+        ++support[e];
+        ++i;
+        ++j;
+      }
+    }
+  }
+
+  // Peel edges in increasing support order; when the edge (u, v) leaves,
+  // every surviving triangle (u, v, w) loses one support on its other two
+  // edges. The bucket queue mirrors the core-decomposition peel.
+  std::vector<std::uint8_t> removed(m, 0);
+  using HeapEntry = std::pair<std::uint32_t, std::uint32_t>;  // (sup, e)
+  std::priority_queue<HeapEntry, std::vector<HeapEntry>, std::greater<>>
+      heap;
+  for (std::uint32_t e = 0; e < m; ++e) heap.emplace(support[e], e);
+
+  std::uint32_t current_truss = 2;
+  std::size_t removed_count = 0;
+  while (removed_count < m) {
+    const auto [sup, e] = heap.top();
+    heap.pop();
+    if (removed[e] || sup != support[e]) continue;  // stale entry
+    current_truss = std::max(current_truss, support[e] + 2);
+    result.trussness[e] = current_truss;
+    removed[e] = 1;
+    ++removed_count;
+
+    const auto [u, v] = result.edges[e];
+    const auto nu = g.Neighbors(u);
+    const auto nv = g.Neighbors(v);
+    std::size_t i = 0, j = 0;
+    while (i < nu.size() && j < nv.size()) {
+      if (nu[i] < nv[j]) {
+        ++i;
+      } else if (nu[i] > nv[j]) {
+        ++j;
+      } else {
+        const NodeId w = nu[i];
+        const std::uint32_t e1 = edge_id.at(EdgeKey(u, w));
+        const std::uint32_t e2 = edge_id.at(EdgeKey(v, w));
+        if (!removed[e1] && !removed[e2]) {
+          for (std::uint32_t other : {e1, e2}) {
+            if (support[other] > 0) {
+              --support[other];
+              heap.emplace(support[other], other);
+            }
+          }
+        }
+        ++i;
+        ++j;
+      }
+    }
+  }
+  result.max_trussness = current_truss;
+  return result;
+}
+
+std::vector<Edge> KTrussEdges(const Graph& g, std::uint32_t k) {
+  const TrussDecomposition d = ComputeTrussDecomposition(g);
+  std::vector<Edge> kept;
+  for (std::size_t e = 0; e < d.edges.size(); ++e)
+    if (d.trussness[e] >= k) kept.push_back(d.edges[e]);
+  return kept;
+}
+
+}  // namespace pivotscale

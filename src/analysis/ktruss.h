@@ -1,0 +1,35 @@
+// k-truss decomposition.
+//
+// The k-truss is the maximal subgraph where every edge is supported by at
+// least k-2 triangles — the edge-analog of the k-core and a standard
+// cohesion measure in the clique-finding application space (every k-clique
+// lies inside the k-truss, so trussness is also a counting prefilter).
+// This computes each edge's trussness by iterative support peeling.
+#ifndef PIVOTSCALE_ANALYSIS_KTRUSS_H_
+#define PIVOTSCALE_ANALYSIS_KTRUSS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/graph.h"
+
+namespace pivotscale {
+
+struct TrussDecomposition {
+  // One entry per undirected edge, aligned with `edges`.
+  std::vector<Edge> edges;                 // (u, v) with u < v
+  std::vector<std::uint32_t> trussness;    // max k with the edge in k-truss
+  std::uint32_t max_trussness = 2;         // graph trussness (2 if no triangles)
+};
+
+// Computes the full truss decomposition. O(sum of deg^2) triangle listing
+// plus near-linear peeling — intended for the suite-scale graphs.
+TrussDecomposition ComputeTrussDecomposition(const Graph& g);
+
+// The edges of the k-truss of g (u < v per edge). k >= 2; k = 2 returns
+// every edge.
+std::vector<Edge> KTrussEdges(const Graph& g, std::uint32_t k);
+
+}  // namespace pivotscale
+
+#endif  // PIVOTSCALE_ANALYSIS_KTRUSS_H_

@@ -1,0 +1,48 @@
+#include "baselines/pivoter_naive.h"
+
+#include <omp.h>
+
+#include "graph/dag.h"
+#include "order/core_order.h"
+#include "pivot/count.h"
+#include "pivot/pivoter.h"
+#include "pivot/subgraph_dense.h"
+#include "util/timer.h"
+
+namespace pivotscale {
+
+PivoterNaiveResult RunPivoterNaive(const Graph& g, std::uint32_t k,
+                                   int num_threads) {
+  PivoterNaiveResult result;
+  PhaseTimer phases;
+  phases.Start();
+
+  const Ordering ordering = CoreOrdering(g);
+  const Graph dag = Directionalize(g, ordering.ranks);
+  result.max_out_degree = MaxOutDegree(dag);
+  result.ordering_seconds = phases.Stop("ordering");
+
+  // Counting: dense structure, static schedule — the naive parallelization.
+  const NodeId n = dag.NumNodes();
+  const std::uint32_t bound = static_cast<std::uint32_t>(dag.MaxDegree()) + 1;
+  const BinomialTable binom(bound + 1);
+  const int threads =
+      num_threads > 0 ? num_threads : omp_get_max_threads();
+
+  BigCount total{};
+#pragma omp parallel num_threads(threads)
+  {
+    PivotCounter<DenseSubgraph, NoStats> counter(
+        dag, CountMode::kSingleK, k, /*per_vertex=*/false, bound, &binom);
+#pragma omp for schedule(static) nowait
+    for (NodeId v = 0; v < n; ++v) counter.ProcessRoot(v);
+#pragma omp critical(pivoter_naive_reduce)
+    total += counter.total();
+  }
+  result.total = total;
+  result.counting_seconds = phases.Stop("counting");
+  result.total_seconds = phases.TotalSeconds();
+  return result;
+}
+
+}  // namespace pivotscale

@@ -1,0 +1,63 @@
+#include "graph/builder.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "util/prefix_sum.h"
+
+namespace pivotscale {
+
+Graph BuildGraph(EdgeList edges, const BuildOptions& options) {
+  if (options.symmetrize) {
+    const std::size_t original = edges.size();
+    edges.reserve(original * 2);
+    for (std::size_t i = 0; i < original; ++i)
+      edges.emplace_back(edges[i].second, edges[i].first);
+  }
+
+  if (options.remove_self_loops) {
+    edges.erase(std::remove_if(edges.begin(), edges.end(),
+                               [](const Edge& e) {
+                                 return e.first == e.second;
+                               }),
+                edges.end());
+  }
+
+  std::sort(edges.begin(), edges.end());
+  if (options.remove_duplicates)
+    edges.erase(std::unique(edges.begin(), edges.end()), edges.end());
+
+  NodeId n = options.num_nodes;
+  if (n == 0) {
+    for (const Edge& e : edges)
+      n = std::max({n, static_cast<NodeId>(e.first + 1),
+                    static_cast<NodeId>(e.second + 1)});
+  } else {
+    for (const Edge& e : edges)
+      if (e.first >= n || e.second >= n)
+        throw std::invalid_argument("BuildGraph: endpoint >= num_nodes");
+  }
+
+  std::vector<EdgeId> degrees(n, 0);
+  for (const Edge& e : edges) ++degrees[e.first];
+
+  std::vector<EdgeId> offsets;
+  ParallelPrefixSum(degrees, &offsets);
+  offsets.push_back(edges.size());
+
+  // Edges are sorted by (src, dst), so a single pass fills sorted adjacency.
+  std::vector<NodeId> neighbors(edges.size());
+  for (std::size_t i = 0; i < edges.size(); ++i)
+    neighbors[i] = edges[i].second;
+
+  return Graph(std::move(offsets), std::move(neighbors),
+               options.symmetrize);
+}
+
+Graph BuildUndirected(EdgeList edges, NodeId n) {
+  BuildOptions options;
+  options.num_nodes = n;
+  return BuildGraph(std::move(edges), options);
+}
+
+}  // namespace pivotscale

@@ -1,0 +1,37 @@
+// Edge-list to CSR construction.
+//
+// All inputs (generators, file readers) produce edge lists; the builder
+// normalizes them the way the paper's evaluation prescribes: symmetrized to
+// undirected, self-loops removed, duplicate edges removed, adjacency sorted.
+// Counting kernels assume these invariants.
+#ifndef PIVOTSCALE_GRAPH_BUILDER_H_
+#define PIVOTSCALE_GRAPH_BUILDER_H_
+
+#include <cstdint>
+
+#include "graph/graph.h"
+
+namespace pivotscale {
+
+struct BuildOptions {
+  // Add the reverse of every edge so the CSR is undirected. Default matches
+  // the paper's preprocessing ("all graphs are ... symmetrized").
+  bool symmetrize = true;
+  // Drop (u, u) edges; cliques never contain self-loops.
+  bool remove_self_loops = true;
+  // Drop repeated edges after symmetrization.
+  bool remove_duplicates = true;
+  // Number of vertices; 0 means "max endpoint + 1".
+  NodeId num_nodes = 0;
+};
+
+// Builds a CSR graph from an edge list. The input list is taken by value
+// because normalization sorts it in place.
+Graph BuildGraph(EdgeList edges, const BuildOptions& options = {});
+
+// Convenience: undirected simple graph over exactly n vertices.
+Graph BuildUndirected(EdgeList edges, NodeId n);
+
+}  // namespace pivotscale
+
+#endif  // PIVOTSCALE_GRAPH_BUILDER_H_

@@ -1,0 +1,55 @@
+#include "graph/dag.h"
+
+#include <omp.h>
+
+#include <stdexcept>
+#include <vector>
+
+#include "util/prefix_sum.h"
+
+namespace pivotscale {
+
+bool IsPermutation(std::span<const NodeId> ranks) {
+  std::vector<bool> seen(ranks.size(), false);
+  for (NodeId r : ranks) {
+    if (r >= ranks.size() || seen[r]) return false;
+    seen[r] = true;
+  }
+  return true;
+}
+
+Graph Directionalize(const Graph& g, std::span<const NodeId> ranks) {
+  const NodeId n = g.NumNodes();
+  if (ranks.size() != n)
+    throw std::invalid_argument("Directionalize: ranks size mismatch");
+  if (!IsPermutation(ranks))
+    throw std::invalid_argument("Directionalize: ranks not a permutation");
+
+  std::vector<EdgeId> out_degrees(n, 0);
+#pragma omp parallel for schedule(dynamic, 1024)
+  for (NodeId u = 0; u < n; ++u) {
+    EdgeId deg = 0;
+    for (NodeId v : g.Neighbors(u))
+      if (ranks[u] < ranks[v]) ++deg;
+    out_degrees[u] = deg;
+  }
+
+  std::vector<EdgeId> offsets;
+  const EdgeId total = ParallelPrefixSum(out_degrees, &offsets);
+  offsets.push_back(total);
+
+  std::vector<NodeId> neighbors(total);
+#pragma omp parallel for schedule(dynamic, 1024)
+  for (NodeId u = 0; u < n; ++u) {
+    EdgeId pos = offsets[u];
+    for (NodeId v : g.Neighbors(u))
+      if (ranks[u] < ranks[v]) neighbors[pos++] = v;
+  }
+
+  return Graph(std::move(offsets), std::move(neighbors),
+               /*undirected=*/false);
+}
+
+EdgeId MaxOutDegree(const Graph& dag) { return dag.MaxDegree(); }
+
+}  // namespace pivotscale

@@ -1,0 +1,31 @@
+// Directionalization: undirected graph -> DAG under a total order.
+//
+// Given a rank permutation w, the edge {u, v} is kept as u -> v iff
+// w[u] < w[v] (edges point from lower to higher rank), so every clique has
+// exactly one canonical root — the member with the lowest rank. The maximum
+// out-degree of the resulting DAG is the paper's measure of ordering
+// quality (Section III).
+#ifndef PIVOTSCALE_GRAPH_DAG_H_
+#define PIVOTSCALE_GRAPH_DAG_H_
+
+#include <span>
+
+#include "graph/graph.h"
+
+namespace pivotscale {
+
+// Builds the DAG induced by `ranks` over the undirected graph `g`.
+// `ranks` must be a permutation of [0, n) (checked); the result stores each
+// undirected edge exactly once. Parallelized over vertices.
+Graph Directionalize(const Graph& g, std::span<const NodeId> ranks);
+
+// Largest out-degree of a directionalized graph — the ordering-quality
+// metric used throughout the evaluation.
+EdgeId MaxOutDegree(const Graph& dag);
+
+// True iff `ranks` holds each value in [0, n) exactly once.
+bool IsPermutation(std::span<const NodeId> ranks);
+
+}  // namespace pivotscale
+
+#endif  // PIVOTSCALE_GRAPH_DAG_H_

@@ -1,0 +1,35 @@
+#include "graph/graph.h"
+
+#include <algorithm>
+#include <cassert>
+#include <stdexcept>
+
+namespace pivotscale {
+
+Graph::Graph(std::vector<EdgeId> offsets, std::vector<NodeId> neighbors,
+             bool undirected)
+    : num_nodes_(offsets.empty()
+                     ? 0
+                     : static_cast<NodeId>(offsets.size() - 1)),
+      undirected_(undirected),
+      offsets_(std::move(offsets)),
+      neighbors_(std::move(neighbors)) {
+  if (offsets_.empty()) offsets_.push_back(0);
+  if (offsets_.back() != neighbors_.size())
+    throw std::invalid_argument(
+        "Graph: offsets.back() != neighbors.size()");
+}
+
+bool Graph::HasEdge(NodeId u, NodeId v) const {
+  const auto nbrs = Neighbors(u);
+  return std::binary_search(nbrs.begin(), nbrs.end(), v);
+}
+
+EdgeId Graph::MaxDegree() const {
+  EdgeId max_deg = 0;
+  for (NodeId u = 0; u < num_nodes_; ++u)
+    max_deg = std::max(max_deg, Degree(u));
+  return max_deg;
+}
+
+}  // namespace pivotscale

@@ -1,0 +1,90 @@
+#include "graph/io.h"
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+#include "graph/builder.h"
+
+namespace pivotscale {
+
+namespace {
+constexpr char kMagic[4] = {'P', 'S', 'G', '1'};
+}  // namespace
+
+EdgeList ReadEdgeList(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("cannot open " + path);
+  EdgeList edges;
+  std::string line;
+  std::size_t line_no = 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    if (line.empty() || line[0] == '#' || line[0] == '%') continue;
+    std::istringstream ls(line);
+    std::uint64_t u = 0, v = 0;
+    if (!(ls >> u >> v))
+      throw std::runtime_error(path + ":" + std::to_string(line_no) +
+                               ": malformed edge line");
+    edges.emplace_back(static_cast<NodeId>(u), static_cast<NodeId>(v));
+  }
+  return edges;
+}
+
+void WriteEdgeList(const std::string& path, const EdgeList& edges) {
+  std::ofstream out(path);
+  if (!out) throw std::runtime_error("cannot open " + path + " for write");
+  for (const Edge& e : edges) out << e.first << ' ' << e.second << '\n';
+  if (!out) throw std::runtime_error("write failure on " + path);
+}
+
+void WriteBinaryGraph(const std::string& path, const Graph& g) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) throw std::runtime_error("cannot open " + path + " for write");
+  out.write(kMagic, sizeof(kMagic));
+  const std::uint8_t undirected = g.undirected() ? 1 : 0;
+  out.write(reinterpret_cast<const char*>(&undirected), 1);
+  const std::uint64_t num_nodes = g.NumNodes();
+  const std::uint64_t num_entries = g.NumDirectedEdges();
+  out.write(reinterpret_cast<const char*>(&num_nodes), sizeof(num_nodes));
+  out.write(reinterpret_cast<const char*>(&num_entries),
+            sizeof(num_entries));
+  out.write(reinterpret_cast<const char*>(g.offsets().data()),
+            static_cast<std::streamsize>((num_nodes + 1) * sizeof(EdgeId)));
+  out.write(reinterpret_cast<const char*>(g.neighbor_array().data()),
+            static_cast<std::streamsize>(num_entries * sizeof(NodeId)));
+  if (!out) throw std::runtime_error("write failure on " + path);
+}
+
+Graph ReadBinaryGraph(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw std::runtime_error("cannot open " + path);
+  char magic[4];
+  in.read(magic, sizeof(magic));
+  if (!in || std::memcmp(magic, kMagic, sizeof(kMagic)) != 0)
+    throw std::runtime_error(path + ": not a PSG1 graph file");
+  std::uint8_t undirected = 0;
+  in.read(reinterpret_cast<char*>(&undirected), 1);
+  std::uint64_t num_nodes = 0, num_entries = 0;
+  in.read(reinterpret_cast<char*>(&num_nodes), sizeof(num_nodes));
+  in.read(reinterpret_cast<char*>(&num_entries), sizeof(num_entries));
+  if (!in) throw std::runtime_error(path + ": truncated header");
+  std::vector<EdgeId> offsets(num_nodes + 1);
+  std::vector<NodeId> neighbors(num_entries);
+  in.read(reinterpret_cast<char*>(offsets.data()),
+          static_cast<std::streamsize>(offsets.size() * sizeof(EdgeId)));
+  in.read(reinterpret_cast<char*>(neighbors.data()),
+          static_cast<std::streamsize>(neighbors.size() * sizeof(NodeId)));
+  if (!in) throw std::runtime_error(path + ": truncated body");
+  return Graph(std::move(offsets), std::move(neighbors), undirected != 0);
+}
+
+Graph LoadGraph(const std::string& path) {
+  if (path.size() >= 4 && path.compare(path.size() - 4, 4, ".psg") == 0)
+    return ReadBinaryGraph(path);
+  return BuildGraph(ReadEdgeList(path));
+}
+
+}  // namespace pivotscale

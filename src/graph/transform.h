@@ -1,0 +1,43 @@
+// Graph transformations: preprocessing utilities a clique-counting
+// workflow needs around the core pipeline — restricting to the dense part
+// of a graph (k-core extraction), cutting out vertex-induced subgraphs,
+// isolating the largest component, and composing test graphs.
+#ifndef PIVOTSCALE_GRAPH_TRANSFORM_H_
+#define PIVOTSCALE_GRAPH_TRANSFORM_H_
+
+#include <span>
+#include <vector>
+
+#include "graph/graph.h"
+
+namespace pivotscale {
+
+// Result of a transformation that renumbers vertices: the new graph plus
+// the mapping from new ids back to the original ids.
+struct InducedResult {
+  Graph graph;
+  std::vector<NodeId> original_ids;  // original_ids[new] = old
+};
+
+// Vertex-induced subgraph on `vertices` (duplicates ignored); vertices are
+// renumbered compactly in the order given.
+InducedResult InduceSubgraph(const Graph& g,
+                             std::span<const NodeId> vertices);
+
+// The k-core: the maximal subgraph where every vertex has degree >= k.
+// Returns an empty graph if no vertex survives.
+InducedResult ExtractKCore(const Graph& g, EdgeId k);
+
+// The largest connected component (ties broken by lowest contained id).
+InducedResult LargestConnectedComponent(const Graph& g);
+
+// Per-vertex component ids (0-based, in order of discovery from vertex 0).
+std::vector<NodeId> ConnectedComponents(const Graph& g);
+
+// Disjoint union: b's vertices are shifted by a.NumNodes(). Clique counts
+// add across a disjoint union, which the tests exploit as an invariant.
+Graph DisjointUnion(const Graph& a, const Graph& b);
+
+}  // namespace pivotscale
+
+#endif  // PIVOTSCALE_GRAPH_TRANSFORM_H_

@@ -1,0 +1,29 @@
+// Greedy-coloring ordering (related work: Li et al. use coloring-based
+// ordering heuristics for k-clique listing; Besta et al.'s coloring work
+// inspired the core approximation of Section III-A).
+//
+// Vertices are greedily colored in descending-degree order (largest-first);
+// the ordering ranks by (color, degree, id). Colors approximate "levels of
+// mutual conflict": within a clique every vertex gets a distinct color, so
+// directing edges from low to high color spreads each clique's out-degrees
+// across color classes. Included for completeness of the ordering library
+// and the ordering_explorer example; it is not part of the paper's sweep.
+#ifndef PIVOTSCALE_ORDER_COLORING_ORDER_H_
+#define PIVOTSCALE_ORDER_COLORING_ORDER_H_
+
+#include <vector>
+
+#include "graph/graph.h"
+#include "order/ordering.h"
+
+namespace pivotscale {
+
+// Greedy largest-first proper coloring; returns per-vertex colors
+// (0-based). The number of colors is at most max degree + 1.
+std::vector<NodeId> GreedyColoring(const Graph& g);
+
+Ordering ColoringOrdering(const Graph& g);
+
+}  // namespace pivotscale
+
+#endif  // PIVOTSCALE_ORDER_COLORING_ORDER_H_

@@ -1,0 +1,26 @@
+// Exact core (degeneracy) ordering — Matula-Beck smallest-last peel.
+//
+// Repeatedly removing a minimum-degree vertex yields the degeneracy order,
+// which provably minimizes the maximum out-degree of the directionalized
+// DAG (the peel position of a vertex bounds its out-degree by the
+// degeneracy). This is the ordering the original Pivoter uses; it is
+// inherently sequential, which is exactly the scalability problem
+// Section III addresses.
+#ifndef PIVOTSCALE_ORDER_CORE_ORDER_H_
+#define PIVOTSCALE_ORDER_CORE_ORDER_H_
+
+#include "graph/graph.h"
+#include "order/ordering.h"
+
+namespace pivotscale {
+
+// O(V + E) bucket-queue peel. ranks[u] = peel position.
+Ordering CoreOrdering(const Graph& g);
+
+// The graph's degeneracy (largest minimum degree over the peel; equals the
+// maximum out-degree the core ordering produces).
+EdgeId Degeneracy(const Graph& g);
+
+}  // namespace pivotscale
+
+#endif  // PIVOTSCALE_ORDER_CORE_ORDER_H_

@@ -1,0 +1,90 @@
+#include "order/heuristic.h"
+
+#include <omp.h>
+
+#include <algorithm>
+
+#include "util/timer.h"
+
+namespace pivotscale {
+
+namespace {
+
+// Size of the sorted-list intersection of two neighborhoods.
+EdgeId CountCommonNeighbors(const Graph& g, NodeId u, NodeId v) {
+  const auto nu = g.Neighbors(u);
+  const auto nv = g.Neighbors(v);
+  EdgeId common = 0;
+  std::size_t i = 0, j = 0;
+  while (i < nu.size() && j < nv.size()) {
+    if (nu[i] < nv[j]) {
+      ++i;
+    } else if (nu[i] > nv[j]) {
+      ++j;
+    } else {
+      ++common;
+      ++i;
+      ++j;
+    }
+  }
+  return common;
+}
+
+}  // namespace
+
+HeuristicDecision SelectOrdering(const Graph& g,
+                                 const HeuristicConfig& config) {
+  Timer timer;
+  HeuristicDecision d;
+  const NodeId n = g.NumNodes();
+  if (n == 0) {
+    d.seconds = timer.Seconds();
+    return d;
+  }
+
+  // Probe 1: the highest-degree vertex (parallel max with id tiebreak).
+  NodeId best = 0;
+  EdgeId best_degree = g.Degree(0);
+  for (NodeId u = 1; u < n; ++u) {
+    const EdgeId deg = g.Degree(u);
+    if (deg > best_degree) {
+      best = u;
+      best_degree = deg;
+    }
+  }
+  d.max_degree_vertex = best;
+  d.max_degree = best_degree;
+
+  // Probe 2: its highest-degree neighbor (the paper's `a`).
+  NodeId best_neighbor = best;
+  EdgeId a = 0;
+  for (NodeId v : g.Neighbors(best)) {
+    const EdgeId deg = g.Degree(v);
+    if (deg > a) {
+      a = deg;
+      best_neighbor = v;
+    }
+  }
+  d.a = a;
+  d.a_ratio = static_cast<double>(a) / static_cast<double>(n);
+
+  // Probe 3: common-neighbor fraction between the pair, normalized by the
+  // smaller neighborhood so a fully nested neighborhood scores 1.0.
+  if (best_neighbor != best) {
+    const EdgeId common = CountCommonNeighbors(g, best, best_neighbor);
+    const EdgeId denom =
+        std::min(g.Degree(best), g.Degree(best_neighbor));
+    d.common_fraction =
+        denom == 0 ? 0 : static_cast<double>(common) /
+                             static_cast<double>(denom);
+  }
+
+  d.use_core_approx =
+      n > config.min_nodes &&
+      (d.a_ratio >= config.a_ratio_threshold ||
+       d.common_fraction > config.common_fraction_threshold);
+  d.seconds = timer.Seconds();
+  return d;
+}
+
+}  // namespace pivotscale

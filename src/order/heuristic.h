@@ -1,0 +1,47 @@
+// Order-selecting heuristic (Section III-E).
+//
+// Clique-rich graphs reward the core approximation's algorithmic advantage;
+// clique-poor graphs reward the degree ordering's speed and locality. The
+// heuristic predicts clique richness from assortativity probes that cost
+// O(d_max) time:
+//   a       = the highest degree among the neighbors of the highest-degree
+//             vertex (large a => assortative => cliques likely)
+//   common  = fraction of neighbors shared between that vertex pair
+// Selection rule (paper defaults): use the core approximation iff the graph
+// is large enough AND (a/|V| >= 0.0015 OR common > 0.10); otherwise degree.
+#ifndef PIVOTSCALE_ORDER_HEURISTIC_H_
+#define PIVOTSCALE_ORDER_HEURISTIC_H_
+
+#include "graph/graph.h"
+
+namespace pivotscale {
+
+struct HeuristicConfig {
+  // Minimum |V| for the core approximation to be worthwhile; below this the
+  // ordering phase dominates total time and degree wins (paper: 1M on the
+  // SNAP suite; the synthetic suite default is scaled down accordingly).
+  NodeId min_nodes = 1'000'000;
+  double a_ratio_threshold = 0.0015;
+  double common_fraction_threshold = 0.10;
+  // Epsilon used if the core approximation is selected.
+  double epsilon = -0.5;
+};
+
+struct HeuristicDecision {
+  bool use_core_approx = false;    // false => degree ordering
+  NodeId max_degree_vertex = 0;    // the probe vertex
+  EdgeId max_degree = 0;
+  EdgeId a = 0;                    // highest degree among its neighbors
+  double a_ratio = 0;              // a / |V|
+  double common_fraction = 0;      // shared-neighbor fraction of the pair
+  double seconds = 0;              // time to compute the heuristic
+};
+
+// Computes the probes and applies the selection rule. O(|N(u*)| + d_max)
+// plus one sorted intersection.
+HeuristicDecision SelectOrdering(const Graph& g,
+                                 const HeuristicConfig& config = {});
+
+}  // namespace pivotscale
+
+#endif  // PIVOTSCALE_ORDER_HEURISTIC_H_

@@ -1,0 +1,83 @@
+#include "order/kcore_order.h"
+
+#include <omp.h>
+
+namespace pivotscale {
+
+std::vector<EdgeId> CoreDecomposition(const Graph& g, int* rounds_out) {
+  const NodeId n = g.NumNodes();
+  std::vector<std::int64_t> degree(n);
+#pragma omp parallel for schedule(static)
+  for (NodeId u = 0; u < n; ++u)
+    degree[u] = static_cast<std::int64_t>(g.Degree(u));
+
+  std::vector<EdgeId> coreness(n, 0);
+  std::vector<std::uint8_t> alive(n, 1);
+  std::vector<NodeId> frontier, next_frontier;
+
+  NodeId removed_total = 0;
+  std::int64_t level = 0;
+  int rounds = 0;
+  while (removed_total < n) {
+    // Collect everything peelable at this level, then cascade within the
+    // level (removing a degree-<=level vertex can push neighbors below the
+    // threshold in the same level) — the PKC processing structure.
+    frontier.clear();
+#pragma omp parallel
+    {
+      std::vector<NodeId> local;
+#pragma omp for schedule(static) nowait
+      for (NodeId u = 0; u < n; ++u)
+        if (alive[u] && degree[u] <= level) local.push_back(u);
+#pragma omp critical(kcore_merge)
+      frontier.insert(frontier.end(), local.begin(), local.end());
+    }
+
+    ++rounds;  // the level-collection pass
+    while (!frontier.empty()) {
+      ++rounds;  // each cascade pass synchronizes
+      for (NodeId u : frontier) {
+        alive[u] = 0;
+        coreness[u] = static_cast<EdgeId>(level);
+      }
+      removed_total += static_cast<NodeId>(frontier.size());
+
+      next_frontier.clear();
+#pragma omp parallel
+      {
+        std::vector<NodeId> local;
+#pragma omp for schedule(dynamic, 64) nowait
+        for (std::size_t i = 0; i < frontier.size(); ++i) {
+          for (NodeId v : g.Neighbors(frontier[i])) {
+            if (!alive[v]) continue;
+            std::int64_t after;
+#pragma omp atomic capture
+            after = --degree[v];
+            // Exactly the decrement that lands on `level` crosses the
+            // peelable threshold, so each vertex enqueues once.
+            if (after == level) local.push_back(v);
+          }
+        }
+#pragma omp critical(kcore_merge)
+        next_frontier.insert(next_frontier.end(), local.begin(),
+                             local.end());
+      }
+      std::swap(frontier, next_frontier);
+    }
+    ++level;
+  }
+  if (rounds_out != nullptr) *rounds_out = rounds;
+  return coreness;
+}
+
+Ordering KCoreOrdering(const Graph& g) {
+  const NodeId n = g.NumNodes();
+  const std::vector<EdgeId> coreness = CoreDecomposition(g);
+  std::vector<std::uint64_t> keys(n);
+#pragma omp parallel for schedule(static)
+  for (NodeId u = 0; u < n; ++u)
+    keys[u] = PackKey(coreness[u], g.Degree(u));
+  return {"kcore", RanksFromKeys(keys)};
+}
+
+}  // namespace pivotscale

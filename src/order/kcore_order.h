@@ -1,0 +1,31 @@
+// Parallel k-core decomposition ordering (Section III-B).
+//
+// The k-core decomposition assigns each vertex its coreness: the largest k
+// such that the vertex survives in the k-core. A level-synchronous parallel
+// peel (in the style of ParK/PKC) computes coreness in rounds; the ordering
+// ranks by (coreness, original degree, id) — the same tiebreak as the core
+// approximation. Because many vertices share a coreness, this ordering has
+// fewer distinct levels than a low-eps core approximation, which is why the
+// paper finds it consistently lower quality (Figure 5).
+#ifndef PIVOTSCALE_ORDER_KCORE_ORDER_H_
+#define PIVOTSCALE_ORDER_KCORE_ORDER_H_
+
+#include <vector>
+
+#include "graph/graph.h"
+#include "order/ordering.h"
+
+namespace pivotscale {
+
+// Per-vertex coreness via level-synchronous parallel peel. If
+// `rounds_out` is non-null it receives the number of synchronized
+// sub-rounds executed (the scaling-relevant quantity: each sub-round is a
+// parallel pass followed by a barrier).
+std::vector<EdgeId> CoreDecomposition(const Graph& g,
+                                      int* rounds_out = nullptr);
+
+Ordering KCoreOrdering(const Graph& g);
+
+}  // namespace pivotscale
+
+#endif  // PIVOTSCALE_ORDER_KCORE_ORDER_H_

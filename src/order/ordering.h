@@ -1,0 +1,60 @@
+// Ordering types shared by all ordering implementations.
+//
+// An ordering is a rank permutation: ranks[u] is u's position in the total
+// order, and directionalization keeps edge u -> v iff ranks[u] < ranks[v].
+// Every ordering here breaks ties the same way the paper does: primary key
+// first, then original degree, then vertex id — so all orderings are total.
+#ifndef PIVOTSCALE_ORDER_ORDERING_H_
+#define PIVOTSCALE_ORDER_ORDERING_H_
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "graph/graph.h"
+
+namespace pivotscale {
+
+// A computed total order over the vertices of one graph.
+struct Ordering {
+  std::string name;            // e.g. "core", "approx-core(eps=-0.5)"
+  std::vector<NodeId> ranks;   // permutation: ranks[u] in [0, n)
+};
+
+// Ranks vertices ascending by (key[u], u). Keys need not be distinct;
+// the id tiebreak makes the result a permutation.
+std::vector<NodeId> RanksFromKeys(std::span<const std::uint64_t> keys);
+
+// Packs (primary, degree) into one sortable 64-bit key: primary in the high
+// 24 bits (clamped), degree in the low 40 (clamped). Used by orderings whose
+// tiebreak is "original degree, then id".
+std::uint64_t PackKey(std::uint64_t primary, std::uint64_t degree);
+
+// The ordering families evaluated in the paper.
+enum class OrderingKind {
+  kDegree,      // parallel degree ordering (Section II-A)
+  kCore,        // exact sequential core/degeneracy ordering
+  kApproxCore,  // parallel core approximation, Algorithm 2 (Section III-A)
+  kKCore,       // parallel k-core decomposition ordering (Section III-B)
+  kCentrality,  // eigenvector-centrality ordering (Section III-C)
+};
+
+// Parameters for ComputeOrdering; epsilon only applies to kApproxCore and
+// iterations only to kCentrality.
+struct OrderingSpec {
+  OrderingKind kind = OrderingKind::kCore;
+  double epsilon = -0.5;
+  int iterations = 3;
+};
+
+// Dispatches to the matching implementation. Convenient for benches that
+// sweep ordering families.
+Ordering ComputeOrdering(const Graph& g, const OrderingSpec& spec);
+
+// Human-readable name for a spec (matches Ordering::name).
+std::string OrderingSpecName(const OrderingSpec& spec);
+
+}  // namespace pivotscale
+
+#endif  // PIVOTSCALE_ORDER_ORDERING_H_

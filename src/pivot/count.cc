@@ -1,0 +1,208 @@
+#include "pivot/count.h"
+
+#include <omp.h>
+
+#include <stdexcept>
+
+#include "pivot/subgraph_dense.h"
+#include "pivot/subgraph_remap.h"
+#include "pivot/subgraph_sparse.h"
+#include "util/timer.h"
+
+namespace pivotscale {
+
+std::string SubgraphKindName(SubgraphKind kind) {
+  switch (kind) {
+    case SubgraphKind::kDense:
+      return "dense";
+    case SubgraphKind::kSparse:
+      return "sparse";
+    case SubgraphKind::kRemap:
+      return "remap";
+  }
+  return "unknown";
+}
+
+namespace {
+
+// The driver body, instantiated per (structure, stats policy) pair.
+template <typename SG, typename Stats>
+CountResult Run(const Graph& dag, const CountOptions& options) {
+  const NodeId n = dag.NumNodes();
+  const auto max_out =
+      static_cast<std::uint32_t>(dag.MaxDegree());
+  const std::uint32_t bound = max_out + 1;
+  const BinomialTable binom(bound + 1);
+
+  const int requested_threads =
+      options.num_threads > 0 ? options.num_threads : omp_get_max_threads();
+
+  CountResult result;
+  result.per_size.assign(bound + 2, BigCount{});
+  if (options.per_vertex) result.per_vertex.assign(n, BigCount{});
+  if (options.collect_work_trace) result.work_trace.roots.resize(n);
+  result.thread_busy_seconds.assign(requested_threads, 0.0);
+
+  Timer total_timer;
+#pragma omp parallel num_threads(requested_threads)
+  {
+    const int tid = omp_get_thread_num();
+    PivotCounter<SG, Stats> counter(dag, options.mode, options.k,
+                                    options.per_vertex, bound, &binom,
+                                    options.early_termination);
+    Timer busy_timer;
+
+#pragma omp for schedule(dynamic, 16) nowait
+    for (NodeId v = 0; v < n; ++v) {
+      if (options.collect_work_trace) {
+        const std::uint64_t ops_before = counter.stats().Snapshot().edge_ops;
+        Timer root_timer;
+        counter.ProcessRoot(v);
+        result.work_trace.roots[v] = {
+            v, root_timer.Nanos(),
+            counter.stats().Snapshot().edge_ops - ops_before,
+            dag.Degree(v)};
+      } else {
+        counter.ProcessRoot(v);
+      }
+    }
+    result.thread_busy_seconds[tid] = busy_timer.Seconds();
+
+    // Reduce per-thread counters. Each reduction target is guarded; the
+    // critical sections are tiny next to the counting work.
+#pragma omp critical(count_reduce)
+    {
+      result.total += counter.total();
+      if (options.mode != CountMode::kSingleK) {
+        const auto& sizes = counter.per_size();
+        for (std::size_t s = 0; s < sizes.size(); ++s)
+          result.per_size[s] += sizes[s];
+      }
+      if (options.per_vertex) {
+        const auto& pv = counter.per_vertex_counts();
+        for (NodeId v = 0; v < n; ++v) result.per_vertex[v] += pv[v];
+      }
+      result.ops += counter.stats().Snapshot();
+      result.workspace_bytes += counter.WorkspaceBytes();
+    }
+  }
+  result.seconds = total_timer.Seconds();
+
+  if (options.mode != CountMode::kSingleK) {
+    result.total = options.k < result.per_size.size()
+                       ? result.per_size[options.k]
+                       : BigCount{};
+  }
+  return result;
+}
+
+template <typename SG>
+CountResult Dispatch(const Graph& dag, const CountOptions& options) {
+  if (options.collect_op_stats || options.collect_work_trace)
+    return Run<SG, OpCountStats>(dag, options);
+  return Run<SG, NoStats>(dag, options);
+}
+
+}  // namespace
+
+CountResult CountCliquesEdgeParallel(const Graph& dag,
+                                     const CountOptions& options) {
+  if (dag.undirected())
+    throw std::invalid_argument(
+        "CountCliquesEdgeParallel: expected a directionalized DAG");
+  if (options.collect_work_trace)
+    throw std::invalid_argument(
+        "CountCliquesEdgeParallel: per-root work traces are vertex-mode "
+        "only");
+  if (options.per_vertex && options.mode != CountMode::kSingleK)
+    throw std::invalid_argument(
+        "CountCliquesEdgeParallel: per-vertex counts require kSingleK");
+  if (options.k < 1)
+    throw std::invalid_argument("CountCliquesEdgeParallel: k must be >= 1");
+
+  const NodeId n = dag.NumNodes();
+  const std::uint32_t bound = static_cast<std::uint32_t>(dag.MaxDegree()) + 1;
+  const BinomialTable binom(bound + 1);
+  const int threads =
+      options.num_threads > 0 ? options.num_threads : omp_get_max_threads();
+
+  CountResult result;
+  result.per_size.assign(bound + 2, BigCount{});
+  if (options.per_vertex) result.per_vertex.assign(n, BigCount{});
+  result.thread_busy_seconds.assign(threads, 0.0);
+
+  // Instantiated for both stats policies so collect_op_stats is honored.
+  auto run_edges = [&]<typename Stats>(Stats /*tag*/) {
+    Timer total_timer;
+#pragma omp parallel num_threads(threads)
+    {
+      const int tid = omp_get_thread_num();
+      PivotCounter<RemapSubgraph, Stats> counter(
+          dag, options.mode, options.k, options.per_vertex, bound, &binom,
+          options.early_termination);
+      Timer busy_timer;
+#pragma omp for schedule(dynamic, 64) nowait
+      for (NodeId u = 0; u < n; ++u)
+        for (NodeId v : dag.Neighbors(u)) counter.ProcessEdge(u, v);
+      result.thread_busy_seconds[tid] = busy_timer.Seconds();
+#pragma omp critical(edge_count_reduce)
+      {
+        result.total += counter.total();
+        if (options.mode != CountMode::kSingleK) {
+          const auto& sizes = counter.per_size();
+          for (std::size_t s = 0; s < sizes.size(); ++s)
+            result.per_size[s] += sizes[s];
+        }
+        if (options.per_vertex) {
+          const auto& pv = counter.per_vertex_counts();
+          for (NodeId v = 0; v < n; ++v) result.per_vertex[v] += pv[v];
+        }
+        result.ops += counter.stats().Snapshot();
+        result.workspace_bytes += counter.WorkspaceBytes();
+      }
+    }
+    result.seconds = total_timer.Seconds();
+  };
+  if (options.collect_op_stats)
+    run_edges(OpCountStats{});
+  else
+    run_edges(NoStats{});
+
+  // The edge decomposition only reaches cliques of size >= 2; sizes are
+  // completed / dispatched the same way the vertex driver does it.
+  if (options.mode != CountMode::kSingleK) {
+    result.per_size[1] = BigCount{static_cast<uint128>(n)};
+    result.total = options.k < result.per_size.size()
+                       ? result.per_size[options.k]
+                       : BigCount{};
+  } else if (options.k == 1) {
+    result.total = BigCount{static_cast<uint128>(n)};
+    if (options.per_vertex)
+      for (NodeId v = 0; v < n; ++v) result.per_vertex[v] = BigCount{1};
+  }
+  return result;
+}
+
+CountResult CountCliques(const Graph& dag, const CountOptions& options) {
+  if (dag.undirected())
+    throw std::invalid_argument(
+        "CountCliques: expected a directionalized DAG (got an undirected "
+        "graph); call Directionalize first");
+  if (options.per_vertex && options.mode != CountMode::kSingleK)
+    throw std::invalid_argument(
+        "CountCliques: per-vertex counts require kSingleK mode");
+  if (options.k < 1)
+    throw std::invalid_argument("CountCliques: k must be >= 1");
+
+  switch (options.structure) {
+    case SubgraphKind::kDense:
+      return Dispatch<DenseSubgraph>(dag, options);
+    case SubgraphKind::kSparse:
+      return Dispatch<SparseSubgraph>(dag, options);
+    case SubgraphKind::kRemap:
+      return Dispatch<RemapSubgraph>(dag, options);
+  }
+  throw std::invalid_argument("CountCliques: unknown subgraph structure");
+}
+
+}  // namespace pivotscale

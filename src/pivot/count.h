@@ -1,0 +1,87 @@
+// Vertex-parallel counting driver over a directionalized DAG.
+//
+// This is the counting phase of the pipeline: every root vertex of the DAG
+// is an independent work item (its induced subgraph is thread-local), so the
+// driver runs an OpenMP dynamic loop over roots with one PivotCounter per
+// thread and reduces the per-thread counters at the end. Options select the
+// subgraph structure (dense / sparse / remap), the counting mode, per-vertex
+// attribution, operation-count instrumentation, and per-root work tracing
+// for the scaling study.
+#ifndef PIVOTSCALE_PIVOT_COUNT_H_
+#define PIVOTSCALE_PIVOT_COUNT_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "graph/graph.h"
+#include "pivot/pivoter.h"
+#include "pivot/stats.h"
+#include "sim/work_trace.h"
+#include "util/uint128.h"
+
+namespace pivotscale {
+
+// The three thread-local subgraph representations of Section IV.
+enum class SubgraphKind {
+  kDense,   // |V|-sized index (original Pivoter layout)
+  kSparse,  // hash-indexed compact slots
+  kRemap,   // first-level id remap + compact dense arrays (default)
+};
+
+std::string SubgraphKindName(SubgraphKind kind);
+
+struct CountOptions {
+  std::uint32_t k = 8;
+  CountMode mode = CountMode::kSingleK;
+  SubgraphKind structure = SubgraphKind::kRemap;
+  // Accumulate per-vertex k-clique participation counts (kSingleK only).
+  bool per_vertex = false;
+  // Disable Section V-A early termination (ablation only; slower, same
+  // counts). Applies to kSingleK.
+  bool early_termination = true;
+  // Count recursion operations (Table II proxy); small overhead.
+  bool collect_op_stats = false;
+  // Record per-root work for the scaling simulation; implies op stats and
+  // adds a timer read per root.
+  bool collect_work_trace = false;
+  // 0 = use the OpenMP default.
+  int num_threads = 0;
+};
+
+struct CountResult {
+  // k-cliques of the target size (in kAllK mode, per_size[k] when k is in
+  // range, otherwise 0).
+  BigCount total{};
+  // per_size[s] = number of s-cliques; filled in kAllK mode.
+  std::vector<BigCount> per_size;
+  // Per-vertex participation counts; filled when per_vertex was set.
+  std::vector<BigCount> per_vertex;
+  // Aggregated recursion operations (op stats / work trace modes).
+  OpCounters ops;
+  // Per-root work (work trace mode).
+  WorkTrace work_trace;
+  // Counting wall time.
+  double seconds = 0;
+  // Sum of the per-thread subgraph workspace footprints.
+  std::size_t workspace_bytes = 0;
+  // Per-thread busy seconds, for the load-balance CoV analysis (Section IV).
+  std::vector<double> thread_busy_seconds;
+};
+
+// Counts cliques on a directionalized DAG. The DAG must come from
+// Directionalize() (each undirected edge stored once, acyclic).
+CountResult CountCliques(const Graph& dag, const CountOptions& options);
+
+// Edge-parallel counting (GPU-Pivot's finer-grained work decomposition):
+// one work item per DAG edge — each item counts the cliques whose two
+// lowest-ranked members are that edge. Better load balance on skewed
+// graphs at the cost of one intersection per edge. Always uses the remap
+// structure; per-root work traces are not supported (work is per edge).
+// k = 1 is answered directly (the vertex count).
+CountResult CountCliquesEdgeParallel(const Graph& dag,
+                                     const CountOptions& options);
+
+}  // namespace pivotscale
+
+#endif  // PIVOTSCALE_PIVOT_COUNT_H_

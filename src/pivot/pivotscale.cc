@@ -1,0 +1,56 @@
+#include "pivot/pivotscale.h"
+
+#include <stdexcept>
+
+#include "graph/dag.h"
+#include "util/timer.h"
+
+namespace pivotscale {
+
+PivotScaleResult CountKCliques(const Graph& g,
+                               const PivotScaleOptions& options) {
+  if (!g.undirected())
+    throw std::invalid_argument("CountKCliques: input must be undirected");
+
+  PivotScaleResult result;
+  PhaseTimer phases;
+  phases.Start();
+
+  OrderingSpec spec;
+  if (options.forced_ordering.has_value()) {
+    spec = *options.forced_ordering;
+  } else {
+    result.decision = SelectOrdering(g, options.heuristic);
+    spec.kind = result.decision.use_core_approx ? OrderingKind::kApproxCore
+                                                : OrderingKind::kDegree;
+    spec.epsilon = options.heuristic.epsilon;
+  }
+  result.heuristic_seconds = phases.Stop("heuristic");
+
+  const Ordering ordering = ComputeOrdering(g, spec);
+  result.ordering_name = ordering.name;
+  result.ordering_seconds = phases.Stop("ordering");
+
+  const Graph dag = Directionalize(g, ordering.ranks);
+  result.max_out_degree = MaxOutDegree(dag);
+  result.directionalize_seconds = phases.Stop("directionalize");
+
+  CountOptions count_options = options.count;
+  count_options.k = options.k;
+  count_options.mode =
+      options.all_k ? CountMode::kAllK : CountMode::kSingleK;
+  result.count = CountCliques(dag, count_options);
+  result.counting_seconds = phases.Stop("counting");
+
+  result.total = result.count.total;
+  result.total_seconds = phases.TotalSeconds();
+  return result;
+}
+
+BigCount CountKCliquesSimple(const Graph& g, std::uint32_t k) {
+  PivotScaleOptions options;
+  options.k = k;
+  return CountKCliques(g, options).total;
+}
+
+}  // namespace pivotscale

@@ -1,0 +1,189 @@
+#include "pivot/profile.h"
+
+#include <omp.h>
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "pivot/subgraph_remap.h"
+#include "util/binomial.h"
+
+namespace pivotscale {
+
+CliqueProfile::CliqueProfile(
+    std::vector<std::vector<std::uint64_t>> leaf_histogram)
+    : hist_(std::move(leaf_histogram)) {
+  for (std::size_t r = 0; r < hist_.size(); ++r)
+    for (std::size_t np = 0; np < hist_[r].size(); ++np)
+      if (hist_[r][np] > 0)
+        max_r_plus_np_ = std::max(
+            max_r_plus_np_, static_cast<std::uint32_t>(r + np));
+}
+
+BigCount CliqueProfile::CountK(std::uint32_t k) const {
+  if (k == 0) return BigCount{};
+  BinomialTable binom(max_r_plus_np_ + 1);
+  BigCount total{};
+  for (std::size_t r = 1; r < hist_.size(); ++r) {
+    if (r > k) continue;
+    const std::uint32_t need = k - static_cast<std::uint32_t>(r);
+    for (std::size_t np = need; np < hist_[r].size(); ++np) {
+      if (hist_[r][np] == 0) continue;
+      total += BigCount{SatMul(binom.Choose(
+                                   static_cast<std::uint32_t>(np), need),
+                               static_cast<uint128>(hist_[r][np]))};
+    }
+  }
+  return total;
+}
+
+std::vector<BigCount> CliqueProfile::PerSize() const {
+  std::vector<BigCount> sizes(max_r_plus_np_ + 2, BigCount{});
+  BinomialTable binom(max_r_plus_np_ + 1);
+  for (std::size_t r = 1; r < hist_.size(); ++r)
+    for (std::size_t np = 0; np < hist_[r].size(); ++np) {
+      if (hist_[r][np] == 0) continue;
+      const auto count = static_cast<uint128>(hist_[r][np]);
+      for (std::size_t j = 0; j <= np; ++j)
+        sizes[r + j] +=
+            BigCount{SatMul(binom.Choose(static_cast<std::uint32_t>(np),
+                                         static_cast<std::uint32_t>(j)),
+                            count)};
+    }
+  return sizes;
+}
+
+std::uint32_t CliqueProfile::MaxCliqueSize() const {
+  return max_r_plus_np_;
+}
+
+std::uint64_t CliqueProfile::TotalLeaves() const {
+  std::uint64_t total = 0;
+  for (const auto& row : hist_)
+    for (std::uint64_t c : row) total += c;
+  return total;
+}
+
+namespace {
+
+// A second, independent client of the remap subgraph interface: the same
+// pivoting recursion as PivotCounter but recording leaf signatures instead
+// of aggregating binomials. Its PerSize() agreeing with the production
+// counter's kAllK output is itself a strong cross-check (tested).
+class ProfileRecorder {
+ public:
+  ProfileRecorder(const Graph& dag, std::uint32_t bound) : bound_(bound) {
+    sg_.Attach(dag);
+  }
+
+  void ProcessRoot(NodeId root,
+                   std::vector<std::vector<std::uint64_t>>* hist) {
+    sg_.Build(root);
+    const auto verts = sg_.Vertices();
+    if (bufs_.size() < verts.size() + 2) {
+      bufs_.resize(verts.size() + 2);
+      branch_bufs_.resize(verts.size() + 2);
+    }
+    hist_ = hist;
+    bufs_[0].assign(verts.begin(), verts.end());
+    Recurse(bufs_[0], 1, 0, 0);
+  }
+
+ private:
+  using Id = RemapSubgraph::Id;
+
+  void Recurse(std::span<const Id> candidates, std::uint32_t r,
+               std::uint32_t np, std::uint32_t depth) {
+    if (candidates.empty()) {
+      ++(*hist_)[std::min(r, bound_)][std::min(np, bound_)];
+      return;
+    }
+
+    Id pivot = candidates[0];
+    std::uint32_t pivot_deg = sg_.Deg(pivot);
+    for (Id u : candidates) {
+      if (sg_.Deg(u) > pivot_deg) {
+        pivot = u;
+        pivot_deg = sg_.Deg(u);
+      }
+    }
+
+    auto& branches = branch_bufs_[depth];
+    branches.clear();
+    branches.push_back(pivot);
+    for (Id v : sg_.AdjPrefix(pivot)) sg_.Mark(v);
+    for (Id u : candidates)
+      if (u != pivot && !sg_.Marked(u)) branches.push_back(u);
+    for (Id v : sg_.AdjPrefix(pivot)) sg_.Unmark(v);
+
+    for (Id w : branches) {
+      const bool is_pivot_branch = (w == pivot);
+      auto& child = bufs_[depth + 1];
+      child.clear();
+      for (Id v : sg_.AdjPrefix(w))
+        if (!sg_.Removed(v)) child.push_back(v);
+
+      const std::size_t undo_top = undo_.size();
+      for (Id v : child) sg_.Mark(v);
+      for (Id v : child) {
+        auto adj = sg_.AdjPrefix(v);
+        std::uint32_t kept = 0;
+        for (std::uint32_t i = 0;
+             i < static_cast<std::uint32_t>(adj.size()); ++i)
+          if (sg_.Marked(adj[i])) std::swap(adj[kept++], adj[i]);
+        undo_.push_back({v, sg_.Deg(v)});
+        sg_.SetDeg(v, kept);
+      }
+      for (Id v : child) sg_.Unmark(v);
+
+      Recurse(child, r + (is_pivot_branch ? 0 : 1),
+              np + (is_pivot_branch ? 1 : 0), depth + 1);
+
+      while (undo_.size() > undo_top) {
+        const auto [vertex, old_deg] = undo_.back();
+        undo_.pop_back();
+        sg_.SetDeg(vertex, old_deg);
+      }
+      sg_.SetRemoved(w);
+    }
+    for (Id w : branches) sg_.ClearRemoved(w);
+  }
+
+  RemapSubgraph sg_;
+  std::uint32_t bound_;
+  std::vector<std::vector<std::uint64_t>>* hist_ = nullptr;
+  std::vector<std::pair<Id, std::uint32_t>> undo_;
+  std::vector<std::vector<Id>> bufs_;
+  std::vector<std::vector<Id>> branch_bufs_;
+};
+
+}  // namespace
+
+CliqueProfile ComputeCliqueProfile(const Graph& dag, int num_threads) {
+  if (dag.undirected())
+    throw std::invalid_argument(
+        "ComputeCliqueProfile: expected a directionalized DAG");
+  const NodeId n = dag.NumNodes();
+  const std::uint32_t bound = static_cast<std::uint32_t>(dag.MaxDegree()) + 1;
+  const int threads =
+      num_threads > 0 ? num_threads : omp_get_max_threads();
+
+  std::vector<std::vector<std::uint64_t>> hist(
+      bound + 1, std::vector<std::uint64_t>(bound + 1, 0));
+
+#pragma omp parallel num_threads(threads)
+  {
+    ProfileRecorder recorder(dag, bound);
+    std::vector<std::vector<std::uint64_t>> local(
+        bound + 1, std::vector<std::uint64_t>(bound + 1, 0));
+#pragma omp for schedule(dynamic, 16) nowait
+    for (NodeId v = 0; v < n; ++v) recorder.ProcessRoot(v, &local);
+#pragma omp critical(profile_reduce)
+    for (std::size_t r = 0; r <= bound; ++r)
+      for (std::size_t np = 0; np <= bound; ++np)
+        hist[r][np] += local[r][np];
+  }
+  return CliqueProfile(std::move(hist));
+}
+
+}  // namespace pivotscale

@@ -1,0 +1,55 @@
+// Clique profile: the succinct-clique-tree leaf digest.
+//
+// Every leaf of the Pivoter recursion is characterized by its pair
+// (r, np) — required vertices and pivots on the path. The histogram of
+// those pairs is a complete summary of the graph's clique structure: the
+// number of k-cliques for ANY k is sum over leaves of C(np, k - r), so one
+// full recursion (built once) answers arbitrary per-size queries later —
+// the factored form of the original Pivoter's count-everything mode.
+#ifndef PIVOTSCALE_PIVOT_PROFILE_H_
+#define PIVOTSCALE_PIVOT_PROFILE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/graph.h"
+#include "util/uint128.h"
+
+namespace pivotscale {
+
+class CliqueProfile {
+ public:
+  // leaves(r, np) = number of recursion leaves with that signature.
+  // Dimensions are [r][np], r >= 1.
+  explicit CliqueProfile(
+      std::vector<std::vector<std::uint64_t>> leaf_histogram);
+
+  // Number of k-cliques: sum_{r,np} leaves(r,np) * C(np, k-r). O(profile
+  // size) per query, no graph access.
+  BigCount CountK(std::uint32_t k) const;
+
+  // All sizes at once (index s = number of s-cliques; index 0 unused).
+  std::vector<BigCount> PerSize() const;
+
+  // Largest clique size present (0 for an empty graph).
+  std::uint32_t MaxCliqueSize() const;
+
+  // Total number of recursion leaves (the tree's width).
+  std::uint64_t TotalLeaves() const;
+
+  const std::vector<std::vector<std::uint64_t>>& histogram() const {
+    return hist_;
+  }
+
+ private:
+  std::vector<std::vector<std::uint64_t>> hist_;  // [r][np]
+  std::uint32_t max_r_plus_np_ = 0;
+};
+
+// Runs the full (non-terminated) recursion once over the DAG and digests
+// its leaves. Parallel over roots.
+CliqueProfile ComputeCliqueProfile(const Graph& dag, int num_threads = 0);
+
+}  // namespace pivotscale
+
+#endif  // PIVOTSCALE_PIVOT_PROFILE_H_

@@ -1,0 +1,56 @@
+#include "pivot/subgraph_dense.h"
+
+namespace pivotscale {
+
+void DenseSubgraph::Attach(const Graph& dag) {
+  dag_ = &dag;
+  const std::size_t n = dag.NumNodes();
+  adj_.resize(n);
+  deg_.assign(n, 0);
+  mark_.EnsureCapacity(n);
+  removed_.EnsureCapacity(n);
+  verts_.clear();
+}
+
+void DenseSubgraph::Build(NodeId root) {
+  // Reuse: clear only the rows the previous subgraph touched; clear() keeps
+  // each row's capacity, so steady-state builds allocate nothing (the
+  // allocation-reuse discipline of Section V-B).
+  for (Id u : verts_) {
+    adj_[u].clear();
+    deg_[u] = 0;
+    mark_.Unset(u);
+  }
+  verts_.clear();
+
+  const auto nbrs = dag_->Neighbors(root);
+  verts_.assign(nbrs.begin(), nbrs.end());
+  for (Id u : verts_) mark_.Set(u);
+
+  // Symmetrize within the subgraph: each DAG edge a->b between two members
+  // becomes entries in both rows (Section V-A: the first-level subgraph is
+  // symmetrized).
+  for (Id a : verts_) {
+    for (NodeId b : dag_->Neighbors(a)) {
+      if (mark_.Test(b)) {
+        adj_[a].push_back(b);
+        adj_[b].push_back(a);
+      }
+    }
+  }
+  for (Id u : verts_) {
+    deg_[u] = static_cast<std::uint32_t>(adj_[u].size());
+    mark_.Unset(u);
+  }
+}
+
+std::size_t DenseSubgraph::HeapBytes() const {
+  std::size_t bytes = adj_.capacity() * sizeof(adj_[0]) +
+                      deg_.capacity() * sizeof(deg_[0]) +
+                      mark_.HeapBytes() + removed_.HeapBytes() +
+                      verts_.capacity() * sizeof(Id);
+  for (const auto& row : adj_) bytes += row.capacity() * sizeof(Id);
+  return bytes;
+}
+
+}  // namespace pivotscale

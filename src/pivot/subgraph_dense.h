@@ -1,0 +1,79 @@
+// Dense induced-subgraph structure — the original Pivoter layout
+// (PivotScale (dense), Figure 4A).
+//
+// Vertices keep their original graph ids, and every per-vertex array
+// (adjacency rows, degrees, flag maps) is sized |V(G)|. Access is a direct
+// array index — the fastest possible — but the |V|-sized thread-local index
+// is the memory hog that caps parallel scaling at higher thread counts
+// (Section IV, Figure 11): with one subgraph per thread the indices alone
+// can outweigh the input graph.
+//
+// All three subgraph structures share this interface (duck-typed, consumed
+// by PivotCounter<SG, Stats>):
+//   void Attach(const Graph& dag)       bind to a DAG; allocates workspace
+//   void Build(NodeId root)             induce the first-level subgraph on
+//                                       the out-neighborhood of `root`
+//   span<const Id> Vertices()           first-level vertex handles
+//   span<Id> AdjPrefix(Id u)            active neighbors (mutable prefix)
+//   uint32_t Deg / SetDeg               active-neighbor count (the prefix
+//                                       length; SetDeg is the undo hook)
+//   Mark/Unmark/Marked                  scratch membership map
+//   SetRemoved/ClearRemoved/Removed     processed-branch map
+//   NodeId OrigId(Id u)                 handle -> original graph id
+//   size_t IndexSpace()                 id-space size (address modeling)
+//   size_t HeapBytes()                  exact workspace footprint
+#ifndef PIVOTSCALE_PIVOT_SUBGRAPH_DENSE_H_
+#define PIVOTSCALE_PIVOT_SUBGRAPH_DENSE_H_
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "graph/graph.h"
+#include "util/bytemap.h"
+
+namespace pivotscale {
+
+class DenseSubgraph {
+ public:
+  using Id = std::uint32_t;
+  static constexpr const char* kName = "dense";
+
+  void Attach(const Graph& dag);
+  void Build(NodeId root);
+
+  std::span<const Id> Vertices() const { return verts_; }
+
+  std::span<Id> AdjPrefix(Id u) {
+    return {adj_[u].data(), static_cast<std::size_t>(deg_[u])};
+  }
+  std::uint32_t Deg(Id u) const { return deg_[u]; }
+  void SetDeg(Id u, std::uint32_t d) { deg_[u] = d; }
+
+  void Mark(Id u) { mark_.Set(u); }
+  void Unmark(Id u) { mark_.Unset(u); }
+  bool Marked(Id u) const { return mark_.Test(u); }
+
+  void SetRemoved(Id u) { removed_.Set(u); }
+  void ClearRemoved(Id u) { removed_.Unset(u); }
+  bool Removed(Id u) const { return removed_.Test(u); }
+
+  NodeId OrigId(Id u) const { return u; }
+  // Index used by the modeled-address trace: where this vertex's state
+  // physically lives. Dense state is indexed by the original id.
+  Id ModelIndex(Id u) const { return u; }
+  std::size_t IndexSpace() const { return adj_.size(); }
+  std::size_t HeapBytes() const;
+
+ private:
+  const Graph* dag_ = nullptr;
+  std::vector<Id> verts_;
+  std::vector<std::vector<Id>> adj_;   // |V| rows; only members populated
+  std::vector<std::uint32_t> deg_;     // |V| entries
+  ByteMap mark_;                       // |V| bytes
+  ByteMap removed_;                    // |V| bytes
+};
+
+}  // namespace pivotscale
+
+#endif  // PIVOTSCALE_PIVOT_SUBGRAPH_DENSE_H_

@@ -1,0 +1,57 @@
+#include "pivot/subgraph_sparse.h"
+
+namespace pivotscale {
+
+void SparseSubgraph::Attach(const Graph& dag) {
+  dag_ = &dag;
+  index_.Clear();
+  verts_.clear();
+  // Slot arrays grow to the largest out-neighborhood seen; rows_ keeps each
+  // slot's vector capacity across Build calls (allocation reuse).
+}
+
+void SparseSubgraph::Build(NodeId root) {
+  const auto nbrs = dag_->Neighbors(root);
+  const std::size_t n = nbrs.size();
+
+  index_.Clear();
+  index_.Reserve(static_cast<std::uint32_t>(n));
+  verts_.assign(nbrs.begin(), nbrs.end());
+  if (rows_.size() < n) rows_.resize(n);
+  if (deg_.size() < n) deg_.resize(n);
+  if (flags_.size() < n) flags_.resize(n);
+
+  for (std::size_t s = 0; s < n; ++s) {
+    index_.Insert(verts_[s], static_cast<std::uint32_t>(s));
+    rows_[s].clear();  // keeps capacity
+    deg_[s] = 0;
+    flags_[s] = 0;
+  }
+
+  // Symmetrize the members' DAG edges, exactly as the dense structure does,
+  // but with hash membership tests instead of a |V|-sized byte map.
+  for (Id a : verts_) {
+    const std::uint32_t sa = Slot(a);
+    for (NodeId b : dag_->Neighbors(a)) {
+      const std::uint32_t sb = index_.Find(b);
+      if (sb != FlatHashMap::kNotFound) {
+        rows_[sa].push_back(b);
+        rows_[sb].push_back(a);
+      }
+    }
+  }
+  for (std::size_t s = 0; s < n; ++s)
+    deg_[s] = static_cast<std::uint32_t>(rows_[s].size());
+}
+
+std::size_t SparseSubgraph::HeapBytes() const {
+  std::size_t bytes = verts_.capacity() * sizeof(Id) +
+                      rows_.capacity() * sizeof(rows_[0]) +
+                      deg_.capacity() * sizeof(deg_[0]) +
+                      flags_.capacity() * sizeof(flags_[0]);
+  for (const auto& row : rows_) bytes += row.capacity() * sizeof(Id);
+  bytes += index_.HeapBytes();
+  return bytes;
+}
+
+}  // namespace pivotscale

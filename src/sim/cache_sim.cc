@@ -1,0 +1,67 @@
+#include "sim/cache_sim.h"
+
+#include <stdexcept>
+
+namespace pivotscale {
+
+namespace {
+int Log2Exact(std::size_t v) {
+  int shift = 0;
+  while ((std::size_t{1} << shift) < v) ++shift;
+  if ((std::size_t{1} << shift) != v)
+    throw std::invalid_argument("CacheSim: size not a power of two");
+  return shift;
+}
+}  // namespace
+
+CacheSim::CacheSim(std::size_t capacity_bytes, int associativity,
+                   int line_bytes)
+    : ways_(associativity) {
+  if (associativity < 1 || line_bytes < 1 || capacity_bytes == 0)
+    throw std::invalid_argument("CacheSim: bad geometry");
+  line_shift_ = Log2Exact(static_cast<std::size_t>(line_bytes));
+  const std::size_t lines = capacity_bytes / line_bytes;
+  if (lines % associativity != 0)
+    throw std::invalid_argument(
+        "CacheSim: capacity not divisible into sets");
+  sets_ = lines / associativity;
+  Log2Exact(sets_);  // require power-of-two sets for masked indexing
+  tags_.assign(sets_ * ways_, 0);
+  lru_.assign(sets_ * ways_, 0);
+}
+
+void CacheSim::Access(std::uint64_t address) {
+  const std::uint64_t line = address >> line_shift_;
+  const std::size_t set = static_cast<std::size_t>(line) & (sets_ - 1);
+  const std::size_t base = set * static_cast<std::size_t>(ways_);
+  // Tag 0 collides with "invalid"; offset by 1 so every real tag is nonzero.
+  const std::uint64_t tag = line + 1;
+
+  ++clock_;
+  std::size_t victim = base;
+  std::uint64_t oldest = ~std::uint64_t{0};
+  for (int w = 0; w < ways_; ++w) {
+    const std::size_t slot = base + w;
+    if (tags_[slot] == tag) {
+      lru_[slot] = clock_;
+      ++hits_;
+      return;
+    }
+    if (lru_[slot] < oldest) {
+      oldest = lru_[slot];
+      victim = slot;
+    }
+  }
+  ++misses_;
+  tags_[victim] = tag;
+  lru_[victim] = clock_;
+}
+
+void CacheSim::Reset() {
+  std::fill(tags_.begin(), tags_.end(), 0);
+  std::fill(lru_.begin(), lru_.end(), 0);
+  hits_ = misses_ = 0;
+  clock_ = 0;
+}
+
+}  // namespace pivotscale

@@ -1,0 +1,113 @@
+#include "sim/scaling_sim.h"
+
+#include <algorithm>
+#include <queue>
+#include <stdexcept>
+
+#include "util/stats.h"
+
+namespace pivotscale {
+
+ScalingSimResult SimulateScaling(const WorkTrace& trace,
+                                 const ScalingSimConfig& config) {
+  if (config.num_threads < 1)
+    throw std::invalid_argument("SimulateScaling: num_threads < 1");
+  if (config.chunk_size < 1)
+    throw std::invalid_argument("SimulateScaling: chunk_size < 1");
+
+  const int T = config.num_threads;
+  const std::size_t n = trace.roots.size();
+
+  ScalingSimResult result;
+  result.thread_busy_seconds.assign(T, 0.0);
+  result.serial_seconds =
+      static_cast<double>(trace.TotalNanos()) * 1e-9;
+
+  // Per-root simulated seconds under the configured work model.
+  std::vector<double> root_seconds(n);
+  bool use_units = config.work_model == WorkModel::kDeterministicUnits;
+  double total_units = 0;
+  if (use_units) {
+    for (const RootWork& w : trace.roots)
+      total_units += static_cast<double>(w.edge_ops + w.build_ops +
+                                         config.per_root_overhead_units);
+    if (total_units <= 0) use_units = false;
+  }
+  for (std::size_t i = 0; i < n; ++i) {
+    if (use_units) {
+      const double units = static_cast<double>(
+          trace.roots[i].edge_ops + trace.roots[i].build_ops +
+          config.per_root_overhead_units);
+      root_seconds[i] = result.serial_seconds * units / total_units;
+    } else {
+      root_seconds[i] = static_cast<double>(trace.roots[i].nanos) * 1e-9;
+    }
+  }
+
+  // Compute-side makespan from the scheduling policy.
+  double makespan = 0;
+  if (config.static_schedule) {
+    // Contiguous block per thread, like schedule(static) over the vertex
+    // range: skewed graphs concentrate heavy roots in few blocks.
+    const std::size_t per = (n + T - 1) / std::max<std::size_t>(1, T);
+    for (int t = 0; t < T; ++t) {
+      const std::size_t begin = std::min(n, per * t);
+      const std::size_t end = std::min(n, begin + per);
+      double busy = 0;
+      for (std::size_t i = begin; i < end; ++i) busy += root_seconds[i];
+      result.thread_busy_seconds[t] = busy;
+      makespan = std::max(makespan, busy);
+    }
+  } else {
+    // Dynamic chunked self-scheduling: each chunk of consecutive roots goes
+    // to the thread that frees up first (min-heap of completion times).
+    using HeapEntry = std::pair<double, int>;  // (available time, thread)
+    std::priority_queue<HeapEntry, std::vector<HeapEntry>, std::greater<>>
+        heap;
+    for (int t = 0; t < T; ++t) heap.emplace(0.0, t);
+    const std::size_t chunk = static_cast<std::size_t>(config.chunk_size);
+    for (std::size_t begin = 0; begin < n; begin += chunk) {
+      const std::size_t end = std::min(n, begin + chunk);
+      double work = 0;
+      for (std::size_t i = begin; i < end; ++i) work += root_seconds[i];
+      auto [available, t] = heap.top();
+      heap.pop();
+      result.thread_busy_seconds[t] += work;
+      heap.emplace(available + work, t);
+    }
+    while (!heap.empty()) {
+      makespan = std::max(makespan, heap.top().first);
+      heap.pop();
+    }
+  }
+
+  // Memory-side floor: the memory-bound share of the total work does not
+  // scale once the aggregate footprint spills the modeled cache.
+  if (config.per_thread_footprint_bytes > 0 && T > 1) {
+    const double aggregate =
+        static_cast<double>(config.per_thread_footprint_bytes) *
+        static_cast<double>(T);
+    const double cache = static_cast<double>(config.cache_capacity_bytes);
+    if (aggregate > cache) {
+      const double spill_share = 1.0 - cache / aggregate;  // in (0, 1)
+      const double memory_floor =
+          result.serial_seconds * config.memory_time_fraction * spill_share;
+      makespan = std::max(makespan, memory_floor);
+    }
+  }
+
+  result.makespan_seconds = makespan;
+  result.busy_cov = CoeffOfVariation(result.thread_busy_seconds);
+  return result;
+}
+
+double SimulateSpeedup(const WorkTrace& trace,
+                       const ScalingSimConfig& config) {
+  ScalingSimConfig one = config;
+  one.num_threads = 1;
+  const double base = SimulateScaling(trace, one).makespan_seconds;
+  const double at_t = SimulateScaling(trace, config).makespan_seconds;
+  return at_t > 0 ? base / at_t : 0;
+}
+
+}  // namespace pivotscale

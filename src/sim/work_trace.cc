@@ -1,0 +1,25 @@
+#include "sim/work_trace.h"
+
+#include <algorithm>
+
+namespace pivotscale {
+
+std::uint64_t WorkTrace::TotalNanos() const {
+  std::uint64_t total = 0;
+  for (const RootWork& w : roots) total += w.nanos;
+  return total;
+}
+
+std::uint64_t WorkTrace::TotalEdgeOps() const {
+  std::uint64_t total = 0;
+  for (const RootWork& w : roots) total += w.edge_ops;
+  return total;
+}
+
+std::uint64_t WorkTrace::MaxNanos() const {
+  std::uint64_t max = 0;
+  for (const RootWork& w : roots) max = std::max(max, w.nanos);
+  return max;
+}
+
+}  // namespace pivotscale

@@ -1,0 +1,42 @@
+#include "util/binomial.h"
+
+#include <cassert>
+
+namespace pivotscale {
+
+BinomialTable::BinomialTable(std::uint32_t max_n) : max_n_(0) {
+  rows_.reserve(max_n + 1);
+  rows_.push_back({static_cast<uint128>(1)});  // C(0, 0) = 1
+  EnsureRows(max_n);
+}
+
+void BinomialTable::EnsureRows(std::uint32_t new_max) {
+  while (rows_.size() <= new_max) {
+    const std::vector<uint128>& prev = rows_.back();
+    const std::size_t n = rows_.size();
+    std::vector<uint128> row(n + 1);
+    row[0] = 1;
+    row[n] = 1;
+    for (std::size_t k = 1; k < n; ++k)
+      row[k] = SatAdd(prev[k - 1], prev[k]);
+    rows_.push_back(std::move(row));
+  }
+  if (new_max > max_n_) max_n_ = new_max;
+}
+
+uint128 BinomialChoose(std::uint64_t n, std::uint64_t k) {
+  if (k > n) return 0;
+  if (k > n - k) k = n - k;
+  uint128 result = 1;
+  for (std::uint64_t i = 1; i <= k; ++i) {
+    // result *= (n - k + i); result /= i;
+    // The running product after dividing by i! is always integral, so divide
+    // at every step to delay saturation as long as possible.
+    const uint128 next = SatMul(result, n - k + i);
+    if (next == kUint128Max) return kUint128Max;
+    result = next / i;
+  }
+  return result;
+}
+
+}  // namespace pivotscale

@@ -1,0 +1,48 @@
+// Precomputed binomial coefficients with saturating 128-bit arithmetic.
+//
+// Pivoter's leaf rule converts a succinct-clique-tree leaf holding r required
+// vertices and np pivots into C(np, k-r) k-cliques, so counting needs fast
+// access to C(n, k) for n up to the largest encountered pivot count (bounded
+// by the maximum out-degree of the DAG). The table is built once with
+// Pascal's rule using saturating adds; entries that exceed 2^128-1 report
+// the saturated value, matching BigCount semantics.
+#ifndef PIVOTSCALE_UTIL_BINOMIAL_H_
+#define PIVOTSCALE_UTIL_BINOMIAL_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "util/uint128.h"
+
+namespace pivotscale {
+
+// Triangular table of C(n, k) for 0 <= k <= n <= max_n.
+class BinomialTable {
+ public:
+  // Builds the table for all n in [0, max_n]. O(max_n^2) time and space;
+  // max_n is typically the DAG's maximum out-degree plus one.
+  explicit BinomialTable(std::uint32_t max_n);
+
+  // C(n, k). Returns 0 when k > n (no validity check on n beyond the
+  // table bound, which is asserted in debug builds).
+  uint128 Choose(std::uint32_t n, std::uint32_t k) const {
+    if (k > n) return 0;
+    return rows_[n][k];
+  }
+
+  std::uint32_t max_n() const { return max_n_; }
+
+  // Grows the table if needed so Choose(n, *) is valid for all n <= new_max.
+  void EnsureRows(std::uint32_t new_max);
+
+ private:
+  std::uint32_t max_n_;
+  std::vector<std::vector<uint128>> rows_;
+};
+
+// One-shot computation of C(n, k) without a table; saturating.
+uint128 BinomialChoose(std::uint64_t n, std::uint64_t k);
+
+}  // namespace pivotscale
+
+#endif  // PIVOTSCALE_UTIL_BINOMIAL_H_

@@ -1,0 +1,96 @@
+#include "util/cli.h"
+
+#include <cstdlib>
+#include <stdexcept>
+
+namespace pivotscale {
+
+ArgParser::ArgParser(int argc, char** argv) {
+  program_name_ = argc > 0 ? argv[0] : "";
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg.rfind("--", 0) != 0) {
+      positional_.push_back(std::move(arg));
+      continue;
+    }
+    if (arg.size() == 2) throw std::runtime_error("bare '--' argument");
+    std::string name = arg.substr(2);
+    std::string value;
+    const std::size_t eq = name.find('=');
+    if (eq != std::string::npos) {
+      value = name.substr(eq + 1);
+      name = name.substr(0, eq);
+    } else if (i + 1 < argc && std::string(argv[i + 1]).rfind("--", 0) != 0) {
+      value = argv[++i];
+    } else {
+      value = "true";  // boolean flag with no value
+    }
+    flags_[name] = value;
+  }
+}
+
+bool ArgParser::Has(const std::string& name) const {
+  return flags_.count(name) != 0;
+}
+
+std::string ArgParser::GetString(const std::string& name,
+                                 const std::string& def) const {
+  const auto it = flags_.find(name);
+  return it == flags_.end() ? def : it->second;
+}
+
+std::int64_t ArgParser::GetInt(const std::string& name,
+                               std::int64_t def) const {
+  const auto it = flags_.find(name);
+  if (it == flags_.end()) return def;
+  std::size_t pos = 0;
+  const std::int64_t v = std::stoll(it->second, &pos);
+  if (pos != it->second.size())
+    throw std::runtime_error("bad integer for --" + name + ": " + it->second);
+  return v;
+}
+
+double ArgParser::GetDouble(const std::string& name, double def) const {
+  const auto it = flags_.find(name);
+  if (it == flags_.end()) return def;
+  std::size_t pos = 0;
+  const double v = std::stod(it->second, &pos);
+  if (pos != it->second.size())
+    throw std::runtime_error("bad double for --" + name + ": " + it->second);
+  return v;
+}
+
+bool ArgParser::GetBool(const std::string& name, bool def) const {
+  const auto it = flags_.find(name);
+  if (it == flags_.end()) return def;
+  const std::string& v = it->second;
+  if (v == "true" || v == "1" || v == "yes" || v == "on") return true;
+  if (v == "false" || v == "0" || v == "no" || v == "off") return false;
+  throw std::runtime_error("bad boolean for --" + name + ": " + v);
+}
+
+std::vector<std::int64_t> ArgParser::GetIntList(
+    const std::string& name, const std::vector<std::int64_t>& def) const {
+  const auto it = flags_.find(name);
+  if (it == flags_.end()) return def;
+  std::vector<std::int64_t> out;
+  const std::string& s = it->second;
+  std::size_t begin = 0;
+  while (begin <= s.size()) {
+    std::size_t end = s.find(',', begin);
+    if (end == std::string::npos) end = s.size();
+    const std::string token = s.substr(begin, end - begin);
+    if (!token.empty()) {
+      std::size_t pos = 0;
+      const std::int64_t v = std::stoll(token, &pos);
+      if (pos != token.size())
+        throw std::runtime_error("bad list entry for --" + name + ": " +
+                                 token);
+      out.push_back(v);
+    }
+    begin = end + 1;
+  }
+  return out;
+}
+
+}  // namespace pivotscale

@@ -1,0 +1,49 @@
+// Minimal command-line flag parsing for bench and example binaries.
+//
+// Flags are "--name value" or "--name=value"; boolean flags may omit the
+// value. Every binary in bench/ and examples/ must run with sensible
+// defaults and no arguments (the CI loop executes them bare), so parsing
+// never aborts on missing flags — only on malformed ones.
+#ifndef PIVOTSCALE_UTIL_CLI_H_
+#define PIVOTSCALE_UTIL_CLI_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace pivotscale {
+
+class ArgParser {
+ public:
+  // Parses argv. Unrecognized positional arguments are collected in
+  // positional(). Malformed flags (e.g. "--" alone) raise std::runtime_error.
+  ArgParser(int argc, char** argv);
+
+  // True if --name was present at all.
+  bool Has(const std::string& name) const;
+
+  // Typed lookups with defaults. GetInt/GetDouble raise std::runtime_error
+  // on unparseable values so typos fail loudly.
+  std::string GetString(const std::string& name,
+                        const std::string& def) const;
+  std::int64_t GetInt(const std::string& name, std::int64_t def) const;
+  double GetDouble(const std::string& name, double def) const;
+  bool GetBool(const std::string& name, bool def) const;
+
+  // Comma-separated list of integers, e.g. "--ks 4,6,8".
+  std::vector<std::int64_t> GetIntList(
+      const std::string& name, const std::vector<std::int64_t>& def) const;
+
+  const std::vector<std::string>& positional() const { return positional_; }
+  const std::string& program_name() const { return program_name_; }
+
+ private:
+  std::string program_name_;
+  std::map<std::string, std::string> flags_;
+  std::vector<std::string> positional_;
+};
+
+}  // namespace pivotscale
+
+#endif  // PIVOTSCALE_UTIL_CLI_H_

@@ -1,0 +1,107 @@
+// Small open-addressing hash map from 32-bit vertex ids to 32-bit slots.
+//
+// The sparse and remap subgraph structures need id -> slot lookups on the
+// counting hot path; std::unordered_map's node allocations and pointer
+// chasing make it several times slower than an array access, while the
+// paper measures the hash overhead at ~1.2x. This table gets there:
+// linear probing in one flat array, power-of-two capacity, and O(1) Clear
+// via epoch stamps so the structure is reusable across millions of
+// subgraph builds without refilling memory.
+#ifndef PIVOTSCALE_UTIL_FLAT_HASH_H_
+#define PIVOTSCALE_UTIL_FLAT_HASH_H_
+
+#include <cstdint>
+#include <vector>
+
+namespace pivotscale {
+
+class FlatHashMap {
+ public:
+  FlatHashMap() { Rehash(16); }
+
+  // Discards all entries in O(1) (epoch bump).
+  void Clear() {
+    ++epoch_;
+    size_ = 0;
+    if (epoch_ == 0) {  // epoch wrapped: lazily invalidate everything
+      std::fill(epochs_.begin(), epochs_.end(), std::uint32_t{0});
+      epoch_ = 1;
+    }
+  }
+
+  // Reserves capacity for `n` entries without rehashing during inserts.
+  void Reserve(std::uint32_t n) {
+    std::size_t want = 16;
+    while (want < static_cast<std::size_t>(n) * 2) want <<= 1;
+    if (want > keys_.size()) Rehash(want);
+  }
+
+  // Inserts key -> value. Key must not already be present (the subgraph
+  // builders insert each member exactly once).
+  void Insert(std::uint32_t key, std::uint32_t value) {
+    if ((size_ + 1) * 2 > keys_.size()) Grow();
+    std::size_t i = Hash(key);
+    while (epochs_[i] == epoch_) i = (i + 1) & mask_;
+    keys_[i] = key;
+    values_[i] = value;
+    epochs_[i] = epoch_;
+    ++size_;
+  }
+
+  // Returns the value for key, or kNotFound if absent.
+  static constexpr std::uint32_t kNotFound = 0xffffffffu;
+  std::uint32_t Find(std::uint32_t key) const {
+    std::size_t i = Hash(key);
+    while (epochs_[i] == epoch_) {
+      if (keys_[i] == key) return values_[i];
+      i = (i + 1) & mask_;
+    }
+    return kNotFound;
+  }
+
+  std::uint32_t size() const { return size_; }
+
+  std::size_t HeapBytes() const {
+    return keys_.capacity() * sizeof(std::uint32_t) +
+           values_.capacity() * sizeof(std::uint32_t) +
+           epochs_.capacity() * sizeof(std::uint32_t);
+  }
+
+ private:
+  std::size_t Hash(std::uint32_t key) const {
+    // Fibonacci hashing: good spread for consecutive vertex ids.
+    return (static_cast<std::uint64_t>(key) * 0x9e3779b97f4a7c15ULL >> 32) &
+           mask_;
+  }
+
+  void Rehash(std::size_t capacity) {
+    keys_.assign(capacity, 0);
+    values_.assign(capacity, 0);
+    epochs_.assign(capacity, 0);
+    mask_ = capacity - 1;
+    epoch_ = 1;
+    size_ = 0;
+  }
+
+  void Grow() {
+    // Rebuild at double capacity, reinserting live entries.
+    std::vector<std::uint32_t> old_keys = std::move(keys_);
+    std::vector<std::uint32_t> old_values = std::move(values_);
+    std::vector<std::uint32_t> old_epochs = std::move(epochs_);
+    const std::uint32_t old_epoch = epoch_;
+    Rehash(old_keys.size() * 2);
+    for (std::size_t i = 0; i < old_keys.size(); ++i)
+      if (old_epochs[i] == old_epoch) Insert(old_keys[i], old_values[i]);
+  }
+
+  std::vector<std::uint32_t> keys_;
+  std::vector<std::uint32_t> values_;
+  std::vector<std::uint32_t> epochs_;
+  std::size_t mask_ = 0;
+  std::uint32_t epoch_ = 1;
+  std::uint32_t size_ = 0;
+};
+
+}  // namespace pivotscale
+
+#endif  // PIVOTSCALE_UTIL_FLAT_HASH_H_

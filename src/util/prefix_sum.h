@@ -1,0 +1,64 @@
+// Parallel exclusive prefix sum.
+//
+// Used by the CSR builder and the orderings to turn per-vertex counts into
+// offsets. The implementation blocks the input, scans blocks in parallel,
+// sequentially scans the block totals, then applies offsets in parallel —
+// the standard two-pass OpenMP scan.
+#ifndef PIVOTSCALE_UTIL_PREFIX_SUM_H_
+#define PIVOTSCALE_UTIL_PREFIX_SUM_H_
+
+#include <omp.h>
+
+#include <cstdint>
+#include <vector>
+
+namespace pivotscale {
+
+// Computes out[i] = sum of in[0..i) (exclusive scan) and returns the grand
+// total. `out` may alias `in`. T must be an unsigned integral type.
+template <typename T>
+T ParallelPrefixSum(const std::vector<T>& in, std::vector<T>* out) {
+  const std::size_t n = in.size();
+  out->resize(n);
+  if (n == 0) return T{0};
+
+  const int num_threads = omp_get_max_threads();
+  std::vector<T> block_totals(num_threads + 1, T{0});
+  int used_threads = 1;
+
+#pragma omp parallel num_threads(num_threads)
+  {
+    const int tid = omp_get_thread_num();
+    const int nthreads = omp_get_num_threads();
+    const std::size_t chunk = (n + nthreads - 1) / nthreads;
+    const std::size_t begin = std::min(n, chunk * tid);
+    const std::size_t end = std::min(n, begin + chunk);
+
+    // Pass 1: local exclusive scan per block.
+    T local = T{0};
+    for (std::size_t i = begin; i < end; ++i) {
+      const T v = in[i];  // read before write: in may alias out
+      (*out)[i] = local;
+      local += v;
+    }
+    block_totals[tid + 1] = local;
+
+#pragma omp barrier
+#pragma omp single
+    {
+      used_threads = nthreads;
+      for (int t = 1; t <= nthreads; ++t)
+        block_totals[t] += block_totals[t - 1];
+    }
+
+    // Pass 2: offset each block by the preceding blocks' totals.
+    const T offset = block_totals[tid];
+    if (offset != T{0})
+      for (std::size_t i = begin; i < end; ++i) (*out)[i] += offset;
+  }
+  return block_totals[used_threads];
+}
+
+}  // namespace pivotscale
+
+#endif  // PIVOTSCALE_UTIL_PREFIX_SUM_H_

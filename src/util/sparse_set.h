@@ -1,0 +1,77 @@
+// Sparse set (Briggs & Torczon) over a bounded integer universe.
+//
+// The counting recursion streamlines the canonical P-R-X sets of
+// Bron-Kerbosch down to a single candidate set P (Section V-B). This
+// structure provides O(1) insert, erase, membership, and clear, plus cheap
+// iteration over the members in insertion order — exactly the operations the
+// recursion needs — while reusing its allocations across subgraphs.
+#ifndef PIVOTSCALE_UTIL_SPARSE_SET_H_
+#define PIVOTSCALE_UTIL_SPARSE_SET_H_
+
+#include <cstdint>
+#include <vector>
+
+namespace pivotscale {
+
+class SparseSet {
+ public:
+  SparseSet() = default;
+  explicit SparseSet(std::uint32_t universe) { EnsureUniverse(universe); }
+
+  // Grows the universe to at least `universe` ids; existing members persist.
+  void EnsureUniverse(std::uint32_t universe) {
+    if (sparse_.size() < universe) sparse_.resize(universe, 0);
+  }
+
+  std::uint32_t universe() const {
+    return static_cast<std::uint32_t>(sparse_.size());
+  }
+  std::uint32_t size() const {
+    return static_cast<std::uint32_t>(dense_.size());
+  }
+  bool empty() const { return dense_.empty(); }
+
+  bool Contains(std::uint32_t id) const {
+    const std::uint32_t pos = sparse_[id];
+    return pos < dense_.size() && dense_[pos] == id;
+  }
+
+  // Inserts id if absent; returns true if inserted.
+  bool Insert(std::uint32_t id) {
+    if (Contains(id)) return false;
+    sparse_[id] = size();
+    dense_.push_back(id);
+    return true;
+  }
+
+  // Erases id if present (swap-with-last; order of remaining members is not
+  // preserved). Returns true if erased.
+  bool Erase(std::uint32_t id) {
+    if (!Contains(id)) return false;
+    const std::uint32_t pos = sparse_[id];
+    const std::uint32_t last = dense_.back();
+    dense_[pos] = last;
+    sparse_[last] = pos;
+    dense_.pop_back();
+    return true;
+  }
+
+  // O(1): forgets all members without touching the sparse array.
+  void Clear() { dense_.clear(); }
+
+  std::uint32_t operator[](std::uint32_t i) const { return dense_[i]; }
+  const std::vector<std::uint32_t>& members() const { return dense_; }
+
+  std::size_t HeapBytes() const {
+    return sparse_.capacity() * sizeof(std::uint32_t) +
+           dense_.capacity() * sizeof(std::uint32_t);
+  }
+
+ private:
+  std::vector<std::uint32_t> sparse_;  // id -> position in dense_
+  std::vector<std::uint32_t> dense_;   // members
+};
+
+}  // namespace pivotscale
+
+#endif  // PIVOTSCALE_UTIL_SPARSE_SET_H_

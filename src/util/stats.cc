@@ -1,0 +1,35 @@
+#include "util/stats.h"
+
+#include <cmath>
+
+namespace pivotscale {
+
+double Mean(const std::vector<double>& xs) {
+  if (xs.empty()) return 0;
+  double sum = 0;
+  for (double x : xs) sum += x;
+  return sum / static_cast<double>(xs.size());
+}
+
+double GeoMean(const std::vector<double>& xs) {
+  if (xs.empty()) return 0;
+  double log_sum = 0;
+  for (double x : xs) log_sum += std::log(x);
+  return std::exp(log_sum / static_cast<double>(xs.size()));
+}
+
+double StdDev(const std::vector<double>& xs) {
+  if (xs.size() < 2) return 0;
+  const double mean = Mean(xs);
+  double ss = 0;
+  for (double x : xs) ss += (x - mean) * (x - mean);
+  return std::sqrt(ss / static_cast<double>(xs.size()));
+}
+
+double CoeffOfVariation(const std::vector<double>& xs) {
+  const double mean = Mean(xs);
+  if (mean == 0) return 0;
+  return StdDev(xs) / mean;
+}
+
+}  // namespace pivotscale

@@ -1,0 +1,28 @@
+// Small statistics helpers used across the evaluation harness.
+//
+// The paper summarizes results with geometric means (speedups, memory
+// ratios) and uses the coefficient of variation of per-thread busy time to
+// argue load balance is a minor factor (Section IV); these helpers implement
+// those summaries once.
+#ifndef PIVOTSCALE_UTIL_STATS_H_
+#define PIVOTSCALE_UTIL_STATS_H_
+
+#include <vector>
+
+namespace pivotscale {
+
+// Arithmetic mean; 0 for empty input.
+double Mean(const std::vector<double>& xs);
+
+// Geometric mean; 0 for empty input. All inputs must be > 0.
+double GeoMean(const std::vector<double>& xs);
+
+// Population standard deviation; 0 for fewer than 2 samples.
+double StdDev(const std::vector<double>& xs);
+
+// Coefficient of variation (stddev / mean); 0 when the mean is 0.
+double CoeffOfVariation(const std::vector<double>& xs);
+
+}  // namespace pivotscale
+
+#endif  // PIVOTSCALE_UTIL_STATS_H_

@@ -1,0 +1,43 @@
+// Aligned console table printing for the bench harness.
+//
+// Every bench binary prints the rows of the paper table/figure it
+// regenerates; this printer keeps the output format uniform and
+// machine-greppable (a leading marker column, pipe-separated cells).
+#ifndef PIVOTSCALE_UTIL_TABLE_H_
+#define PIVOTSCALE_UTIL_TABLE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace pivotscale {
+
+class TablePrinter {
+ public:
+  // `title` is printed once above the header, prefixed with "== ".
+  explicit TablePrinter(std::string title, std::vector<std::string> header);
+
+  // Appends one row; cells are stringified by the Cell() helpers below.
+  void AddRow(std::vector<std::string> cells);
+
+  // Renders the table to stdout with aligned columns.
+  void Print() const;
+
+  // Cell formatting helpers.
+  static std::string Cell(const std::string& s) { return s; }
+  static std::string Cell(double v, int precision = 3);
+  static std::string Cell(std::int64_t v);
+  static std::string Cell(std::uint64_t v);
+
+ private:
+  std::string title_;
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+// Renders a byte count with a binary-unit suffix ("3.2 MiB").
+std::string HumanBytes(std::uint64_t bytes);
+
+}  // namespace pivotscale
+
+#endif  // PIVOTSCALE_UTIL_TABLE_H_

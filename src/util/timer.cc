@@ -1,0 +1,12 @@
+#include "util/timer.h"
+
+// Timer and PhaseTimer are header-only; this translation unit exists so the
+// module has a home for any future out-of-line additions and so the library
+// always links at least one symbol per module.
+namespace pivotscale {
+namespace internal {
+// Anchor symbol: keeps some linkers from warning about an empty archive
+// member when the library is built with aggressive dead-stripping.
+int timer_module_anchor = 0;
+}  // namespace internal
+}  // namespace pivotscale

@@ -1,0 +1,46 @@
+#include "util/uint128.h"
+
+#include <algorithm>
+#include <ostream>
+
+namespace pivotscale {
+
+uint128 SatMul(uint128 a, uint128 b) {
+  if (a == 0 || b == 0) return 0;
+  if (a > kUint128Max / b) return kUint128Max;
+  return a * b;
+}
+
+std::string ToString(uint128 v) {
+  if (v == 0) return "0";
+  std::string digits;
+  while (v != 0) {
+    digits.push_back(static_cast<char>('0' + static_cast<int>(v % 10)));
+    v /= 10;
+  }
+  std::reverse(digits.begin(), digits.end());
+  return digits;
+}
+
+bool ParseUint128(const std::string& text, uint128* out) {
+  if (text.empty()) return false;
+  uint128 v = 0;
+  for (char c : text) {
+    if (c < '0' || c > '9') return false;
+    v = SatAdd(SatMul(v, 10), static_cast<uint128>(c - '0'));
+  }
+  *out = v;
+  return true;
+}
+
+double ToDouble(uint128 v) {
+  const std::uint64_t hi = static_cast<std::uint64_t>(v >> 64);
+  const std::uint64_t lo = static_cast<std::uint64_t>(v);
+  return static_cast<double>(hi) * 0x1.0p64 + static_cast<double>(lo);
+}
+
+std::ostream& operator<<(std::ostream& os, BigCount c) {
+  return os << c.ToString();
+}
+
+}  // namespace pivotscale

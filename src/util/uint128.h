@@ -1,0 +1,81 @@
+// 128-bit clique counters with saturation.
+//
+// Exact k-clique counts overflow 64 bits even on modest clique-rich graphs
+// (the paper reports counts up to ~4*10^23 for LiveJournal, Table VI).
+// BigCount is an unsigned 128-bit integer wrapper whose arithmetic saturates
+// at 2^128-1 instead of wrapping, so an overflowing configuration reports
+// "at least saturated" rather than a silently wrong small number.
+#ifndef PIVOTSCALE_UTIL_UINT128_H_
+#define PIVOTSCALE_UTIL_UINT128_H_
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+
+namespace pivotscale {
+
+using uint128 = unsigned __int128;
+
+// Maximum representable value; arithmetic saturates here.
+inline constexpr uint128 kUint128Max = ~static_cast<uint128>(0);
+
+// Saturating addition: returns min(a + b, 2^128 - 1).
+inline uint128 SatAdd(uint128 a, uint128 b) {
+  const uint128 s = a + b;
+  return s < a ? kUint128Max : s;
+}
+
+// Saturating multiplication: returns min(a * b, 2^128 - 1).
+uint128 SatMul(uint128 a, uint128 b);
+
+// Decimal rendering (the standard library cannot print __int128).
+std::string ToString(uint128 v);
+
+// Parses a decimal string into a uint128; saturates on overflow.
+// Returns false on empty input or non-digit characters.
+bool ParseUint128(const std::string& text, uint128* out);
+
+// Lossy conversion for plotting/ratio math. Exact for values < 2^53.
+double ToDouble(uint128 v);
+
+// A saturating 128-bit counter used for clique counts throughout the API.
+//
+// The wrapper exists so that clique counts cannot be accidentally combined
+// with wrapping arithmetic: operator+ and operator* saturate. Comparisons
+// and equality are exact.
+class BigCount {
+ public:
+  constexpr BigCount() : v_(0) {}
+  constexpr BigCount(uint128 v) : v_(v) {}  // NOLINT: implicit by design
+
+  uint128 value() const { return v_; }
+  bool saturated() const { return v_ == kUint128Max; }
+
+  BigCount& operator+=(BigCount o) {
+    v_ = SatAdd(v_, o.v_);
+    return *this;
+  }
+  friend BigCount operator+(BigCount a, BigCount b) { return a += b; }
+  friend BigCount operator*(BigCount a, BigCount b) {
+    return BigCount(SatMul(a.v_, b.v_));
+  }
+  friend bool operator==(BigCount a, BigCount b) { return a.v_ == b.v_; }
+  friend bool operator!=(BigCount a, BigCount b) { return a.v_ != b.v_; }
+  friend bool operator<(BigCount a, BigCount b) { return a.v_ < b.v_; }
+  friend bool operator<=(BigCount a, BigCount b) { return a.v_ <= b.v_; }
+  friend bool operator>(BigCount a, BigCount b) { return a.v_ > b.v_; }
+  friend bool operator>=(BigCount a, BigCount b) { return a.v_ >= b.v_; }
+
+  std::string ToString() const { return pivotscale::ToString(v_); }
+  double AsDouble() const { return ToDouble(v_); }
+
+ private:
+  uint128 v_;
+};
+
+// Stream output in decimal (used by tests and the table printer).
+std::ostream& operator<<(std::ostream& os, BigCount c);
+
+}  // namespace pivotscale
+
+#endif  // PIVOTSCALE_UTIL_UINT128_H_

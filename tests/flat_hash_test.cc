@@ -1,0 +1,100 @@
+// Unit tests for the flat open-addressing hash map used on the counting
+// hot path (sparse slot lookups, remap builds).
+#include <gtest/gtest.h>
+
+#include <map>
+#include <vector>
+
+#include "util/flat_hash.h"
+#include "util/rng.h"
+
+namespace pivotscale {
+namespace {
+
+TEST(FlatHash, InsertFind) {
+  FlatHashMap m;
+  m.Insert(5, 100);
+  m.Insert(7, 200);
+  EXPECT_EQ(m.Find(5), 100u);
+  EXPECT_EQ(m.Find(7), 200u);
+  EXPECT_EQ(m.Find(6), FlatHashMap::kNotFound);
+  EXPECT_EQ(m.size(), 2u);
+}
+
+TEST(FlatHash, ClearForgetsEverything) {
+  FlatHashMap m;
+  for (std::uint32_t i = 0; i < 100; ++i) m.Insert(i, i * 10);
+  m.Clear();
+  EXPECT_EQ(m.size(), 0u);
+  for (std::uint32_t i = 0; i < 100; ++i)
+    EXPECT_EQ(m.Find(i), FlatHashMap::kNotFound) << i;
+}
+
+TEST(FlatHash, ReusableAfterClear) {
+  FlatHashMap m;
+  for (int round = 0; round < 50; ++round) {
+    m.Clear();
+    for (std::uint32_t i = 0; i < 64; ++i)
+      m.Insert(i * 3 + round, i);
+    for (std::uint32_t i = 0; i < 64; ++i)
+      EXPECT_EQ(m.Find(i * 3 + round), i);
+  }
+}
+
+TEST(FlatHash, GrowthPreservesEntries) {
+  FlatHashMap m;  // starts at capacity 16; inserting 1000 forces growth
+  for (std::uint32_t i = 0; i < 1000; ++i) m.Insert(i * 7 + 1, i);
+  EXPECT_EQ(m.size(), 1000u);
+  for (std::uint32_t i = 0; i < 1000; ++i)
+    EXPECT_EQ(m.Find(i * 7 + 1), i) << i;
+}
+
+TEST(FlatHash, ReserveAvoidsLaterGrowth) {
+  FlatHashMap m;
+  m.Reserve(500);
+  const std::size_t bytes_before = m.HeapBytes();
+  for (std::uint32_t i = 0; i < 500; ++i) m.Insert(i, i);
+  EXPECT_EQ(m.HeapBytes(), bytes_before);
+}
+
+TEST(FlatHash, AdversarialCollisions) {
+  // Keys spaced by the table capacity collide under any masked hash;
+  // linear probing must still find them all.
+  FlatHashMap m;
+  m.Reserve(64);
+  std::vector<std::uint32_t> keys;
+  for (std::uint32_t i = 0; i < 40; ++i) keys.push_back(i * 128);
+  for (std::uint32_t i = 0; i < keys.size(); ++i) m.Insert(keys[i], i);
+  for (std::uint32_t i = 0; i < keys.size(); ++i)
+    EXPECT_EQ(m.Find(keys[i]), i);
+  EXPECT_EQ(m.Find(13), FlatHashMap::kNotFound);
+}
+
+TEST(FlatHash, RandomizedAgainstStdMap) {
+  Rng rng(1234);
+  FlatHashMap m;
+  std::map<std::uint32_t, std::uint32_t> reference;
+  for (int round = 0; round < 20; ++round) {
+    m.Clear();
+    reference.clear();
+    const int inserts = 1 + static_cast<int>(rng.Below(300));
+    for (int i = 0; i < inserts; ++i) {
+      const auto key = static_cast<std::uint32_t>(rng.Below(1 << 20));
+      if (reference.count(key)) continue;
+      const auto value = static_cast<std::uint32_t>(rng.Below(1 << 30));
+      reference[key] = value;
+      m.Insert(key, value);
+    }
+    for (const auto& [key, value] : reference)
+      EXPECT_EQ(m.Find(key), value);
+    for (int probe = 0; probe < 50; ++probe) {
+      const auto key = static_cast<std::uint32_t>(rng.Below(1 << 20));
+      const auto it = reference.find(key);
+      EXPECT_EQ(m.Find(key), it == reference.end() ? FlatHashMap::kNotFound
+                                                   : it->second);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace pivotscale

@@ -1,0 +1,242 @@
+// Tests for the synthetic graph generators and the dataset suite.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "graph/builder.h"
+#include "graph/datasets.h"
+#include "graph/generators.h"
+
+namespace pivotscale {
+namespace {
+
+// ---------------------------------------------------------------- models
+
+TEST(Generators, ErdosRenyiDeterministic) {
+  EXPECT_EQ(ErdosRenyi(50, 0.2, 7), ErdosRenyi(50, 0.2, 7));
+  EXPECT_NE(ErdosRenyi(50, 0.2, 7), ErdosRenyi(50, 0.2, 8));
+}
+
+TEST(Generators, ErdosRenyiEdgeCountNearExpectation) {
+  const EdgeList edges = ErdosRenyi(200, 0.1, 3);
+  const double expected = 0.1 * 200 * 199 / 2;
+  EXPECT_NEAR(static_cast<double>(edges.size()), expected, expected * 0.2);
+}
+
+TEST(Generators, ErdosRenyiExtremes) {
+  EXPECT_TRUE(ErdosRenyi(30, 0.0, 1).empty());
+  EXPECT_EQ(ErdosRenyi(30, 1.0, 1).size(), 30u * 29 / 2);
+}
+
+TEST(Generators, GnMExactCount) {
+  const EdgeList edges = GnM(100, 321, 5);
+  EXPECT_EQ(edges.size(), 321u);
+  std::set<Edge> unique(edges.begin(), edges.end());
+  EXPECT_EQ(unique.size(), 321u);  // distinct
+  for (const Edge& e : edges) EXPECT_LT(e.first, e.second);
+}
+
+TEST(Generators, GnMTooManyEdgesThrows) {
+  EXPECT_THROW(GnM(4, 7, 1), std::invalid_argument);
+}
+
+TEST(Generators, RmatSizeAndBounds) {
+  const EdgeList edges = Rmat(10, 8.0, 17);
+  EXPECT_EQ(edges.size(), 4096u);  // 8 * 1024 / 2
+  for (const Edge& e : edges) {
+    EXPECT_LT(e.first, 1024u);
+    EXPECT_LT(e.second, 1024u);
+  }
+}
+
+TEST(Generators, RmatSkewedDegrees) {
+  // Power-law-ish: the max degree should far exceed the average.
+  const Graph g = BuildGraph(Rmat(12, 8.0, 23));
+  EXPECT_GT(static_cast<double>(g.MaxDegree()),
+            4.0 * g.AverageDegree());
+}
+
+TEST(Generators, RmatValidatesArguments) {
+  EXPECT_THROW(Rmat(0, 4.0, 1), std::invalid_argument);
+  EXPECT_THROW(Rmat(8, 4.0, 0.6, 0.3, 0.2, 1), std::invalid_argument);
+}
+
+TEST(Generators, BarabasiAlbertDegrees) {
+  const NodeId n = 500, attach = 3;
+  const Graph g = BuildGraph(BarabasiAlbert(n, attach, 31));
+  EXPECT_EQ(g.NumNodes(), n);
+  // Every non-seed vertex attaches to exactly `attach` targets.
+  for (NodeId u = attach + 1; u < n; ++u) EXPECT_GE(g.Degree(u), attach);
+  // Preferential attachment concentrates degree.
+  EXPECT_GT(g.MaxDegree(), 4u * attach);
+}
+
+TEST(Generators, BarabasiAlbertValidates) {
+  EXPECT_THROW(BarabasiAlbert(5, 0, 1), std::invalid_argument);
+  EXPECT_THROW(BarabasiAlbert(3, 3, 1), std::invalid_argument);
+}
+
+TEST(Generators, StarHeavyHubsDominate) {
+  const Graph g = BuildGraph(StarHeavy(1000, 5, 0.3, 41));
+  for (NodeId h = 0; h < 5; ++h) EXPECT_GT(g.Degree(h), 100u);
+}
+
+TEST(Generators, CommunityModelPlantsDensity) {
+  const Graph g =
+      BuildGraph(CommunityModel(200, 30, 4, 8, 1.0, 43));
+  // With intra_p = 1 every community is a clique, so triangles abound:
+  // verify some vertex has two adjacent neighbors.
+  bool found_triangle = false;
+  for (NodeId u = 0; u < g.NumNodes() && !found_triangle; ++u) {
+    const auto nbrs = g.Neighbors(u);
+    for (std::size_t i = 0; i < nbrs.size() && !found_triangle; ++i)
+      for (std::size_t j = i + 1; j < nbrs.size(); ++j)
+        if (g.HasEdge(nbrs[i], nbrs[j])) {
+          found_triangle = true;
+          break;
+        }
+  }
+  EXPECT_TRUE(found_triangle);
+}
+
+TEST(Generators, PlantCliquesCreatesClique) {
+  EdgeList edges;
+  PlantCliques(&edges, 50, 1, 10, 10, 47);
+  const Graph g = BuildUndirected(std::move(edges), 50);
+  // Exactly one 10-clique planted: 45 edges, members have degree 9.
+  EXPECT_EQ(g.NumUndirectedEdges(), 45u);
+  int members = 0;
+  for (NodeId u = 0; u < 50; ++u)
+    if (g.Degree(u) == 9) ++members;
+  EXPECT_EQ(members, 10);
+}
+
+TEST(Generators, PlantCliquesValidates) {
+  EdgeList edges;
+  EXPECT_THROW(PlantCliques(&edges, 5, 1, 6, 6, 1), std::invalid_argument);
+  EXPECT_THROW(PlantCliques(&edges, 5, 1, 1, 1, 1), std::invalid_argument);
+}
+
+TEST(Generators, ShuffleIsAnIsomorphism) {
+  // Relabeling must preserve the degree multiset and the edge count, and be
+  // deterministic per seed.
+  EdgeList edges = Rmat(8, 6.0, 51);
+  EdgeList shuffled = edges;
+  ShuffleVertexIds(&shuffled, 256, 7);
+  ASSERT_EQ(edges.size(), shuffled.size());
+
+  const Graph a = BuildUndirected(std::move(edges), 256);
+  EdgeList shuffled_copy = shuffled;
+  const Graph b = BuildUndirected(std::move(shuffled), 256);
+  EXPECT_EQ(a.NumDirectedEdges(), b.NumDirectedEdges());
+
+  std::vector<EdgeId> da, db;
+  for (NodeId u = 0; u < 256; ++u) {
+    da.push_back(a.Degree(u));
+    db.push_back(b.Degree(u));
+  }
+  std::sort(da.begin(), da.end());
+  std::sort(db.begin(), db.end());
+  EXPECT_EQ(da, db);
+
+  EdgeList again = Rmat(8, 6.0, 51);
+  ShuffleVertexIds(&again, 256, 7);
+  EXPECT_EQ(again, shuffled_copy);
+}
+
+TEST(Generators, ShuffledCliqueCountsUnchanged) {
+  // Clique counts are isomorphism-invariant; the shuffle must not change
+  // them (this also guards against out-of-range relabels).
+  EdgeList edges = GnM(60, 300, 53);
+  PlantCliques(&edges, 60, 2, 6, 9, 54);
+  EdgeList shuffled = edges;
+  ShuffleVertexIds(&shuffled, 60, 11);
+  const Graph a = BuildUndirected(std::move(edges), 60);
+  const Graph b = BuildUndirected(std::move(shuffled), 60);
+  // Triangle count via neighborhood intersection on both.
+  auto triangles = [](const Graph& g) {
+    std::uint64_t count = 0;
+    for (NodeId u = 0; u < g.NumNodes(); ++u)
+      for (NodeId v : g.Neighbors(u)) {
+        if (v <= u) continue;
+        for (NodeId w : g.Neighbors(v))
+          if (w > v && g.HasEdge(u, w)) ++count;
+      }
+    return count;
+  };
+  EXPECT_EQ(triangles(a), triangles(b));
+}
+
+// ---------------------------------------------------------------- reference
+
+TEST(Generators, CompleteGraphEdges) {
+  EXPECT_EQ(CompleteGraph(6).size(), 15u);
+  EXPECT_TRUE(CompleteGraph(1).empty());
+}
+
+TEST(Generators, PathCycleStar) {
+  EXPECT_EQ(PathGraph(5).size(), 4u);
+  EXPECT_EQ(CycleGraph(5).size(), 5u);
+  EXPECT_EQ(StarGraph(5).size(), 4u);
+}
+
+TEST(Generators, CompleteBipartiteTriangleFree) {
+  const Graph g = BuildGraph(CompleteBipartite(3, 4));
+  EXPECT_EQ(g.NumUndirectedEdges(), 12u);
+  // Bipartite: no triangles.
+  for (NodeId u = 0; u < g.NumNodes(); ++u) {
+    const auto nbrs = g.Neighbors(u);
+    for (std::size_t i = 0; i < nbrs.size(); ++i)
+      for (std::size_t j = i + 1; j < nbrs.size(); ++j)
+        EXPECT_FALSE(g.HasEdge(nbrs[i], nbrs[j]));
+  }
+}
+
+TEST(Generators, TuranGraphStructure) {
+  // T(9, 3): 3 parts of 3; each vertex adjacent to the 6 outside its part.
+  const Graph g = BuildGraph(TuranGraph(9, 3));
+  for (NodeId u = 0; u < 9; ++u) EXPECT_EQ(g.Degree(u), 6u);
+}
+
+// ---------------------------------------------------------------- datasets
+
+TEST(Datasets, SuiteHasEightGraphsInOrder) {
+  const auto& names = DatasetNames();
+  ASSERT_EQ(names.size(), 8u);
+  EXPECT_EQ(names.front(), "dblp-like");
+  EXPECT_EQ(names.back(), "friendster-like");
+}
+
+TEST(Datasets, Deterministic) {
+  const Dataset a = MakeDataset("dblp-like", 0.1);
+  const Dataset b = MakeDataset("dblp-like", 0.1);
+  EXPECT_EQ(a.graph.NumNodes(), b.graph.NumNodes());
+  EXPECT_EQ(a.graph.NumDirectedEdges(), b.graph.NumDirectedEdges());
+  EXPECT_EQ(a.graph.neighbor_array(), b.graph.neighbor_array());
+}
+
+TEST(Datasets, UnknownNameThrows) {
+  EXPECT_THROW(MakeDataset("orkut", 1.0), std::invalid_argument);
+  EXPECT_THROW(MakeDataset("dblp-like", 0.0), std::invalid_argument);
+  EXPECT_THROW(MakeDataset("dblp-like", 5.0), std::invalid_argument);
+}
+
+TEST(Datasets, AllBuildAtSmallScale) {
+  for (const auto& name : DatasetNames()) {
+    const Dataset d = MakeDataset(name, 0.05);
+    EXPECT_GT(d.graph.NumNodes(), 0u) << name;
+    EXPECT_GT(d.graph.NumUndirectedEdges(), 0u) << name;
+    EXPECT_TRUE(d.graph.undirected()) << name;
+    EXPECT_EQ(d.name, name);
+    EXPECT_FALSE(d.paper_analog.empty()) << name;
+  }
+}
+
+TEST(Datasets, ScaleGrowsGraphs) {
+  const Dataset small = MakeDataset("wikitalk-like", 0.05);
+  const Dataset large = MakeDataset("wikitalk-like", 0.2);
+  EXPECT_GT(large.graph.NumNodes(), small.graph.NumNodes());
+}
+
+}  // namespace
+}  // namespace pivotscale

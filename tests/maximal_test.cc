@@ -1,0 +1,148 @@
+// Tests for maximal clique enumeration, validated against closed forms and
+// a brute-force maximality check on random graphs.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+#include <tuple>
+
+#include "graph/builder.h"
+#include "graph/generators.h"
+#include "pivot/maximal.h"
+
+namespace pivotscale {
+namespace {
+
+// Brute force: every subset of <= n vertices checked for clique-ness and
+// maximality. Usable up to ~18 vertices.
+std::set<std::set<NodeId>> BruteForceMaximalCliques(const Graph& g) {
+  const NodeId n = g.NumNodes();
+  std::vector<std::set<NodeId>> cliques;
+  for (std::uint32_t mask = 1; mask < (1u << n); ++mask) {
+    std::vector<NodeId> members;
+    for (NodeId v = 0; v < n; ++v)
+      if (mask & (1u << v)) members.push_back(v);
+    bool is_clique = true;
+    for (std::size_t i = 0; i < members.size() && is_clique; ++i)
+      for (std::size_t j = i + 1; j < members.size(); ++j)
+        if (!g.HasEdge(members[i], members[j])) {
+          is_clique = false;
+          break;
+        }
+    if (is_clique) cliques.emplace_back(members.begin(), members.end());
+  }
+  std::set<std::set<NodeId>> maximal;
+  for (const auto& c : cliques) {
+    bool extendable = false;
+    for (const auto& d : cliques)
+      if (d.size() > c.size() &&
+          std::includes(d.begin(), d.end(), c.begin(), c.end())) {
+        extendable = true;
+        break;
+      }
+    if (!extendable) maximal.insert(c);
+  }
+  return maximal;
+}
+
+TEST(MaximalCliques, CompleteGraphHasOne) {
+  const Graph g = BuildGraph(CompleteGraph(8));
+  const MaximalCliqueStats stats = CountMaximalCliques(g);
+  EXPECT_EQ(stats.total.value(), static_cast<uint128>(1));
+  EXPECT_EQ(stats.largest, 8u);
+  EXPECT_EQ(stats.by_size[8].value(), static_cast<uint128>(1));
+}
+
+TEST(MaximalCliques, PathHasEdges) {
+  const Graph g = BuildGraph(PathGraph(20));
+  const MaximalCliqueStats stats = CountMaximalCliques(g);
+  EXPECT_EQ(stats.total.value(), static_cast<uint128>(19));
+  EXPECT_EQ(stats.largest, 2u);
+}
+
+TEST(MaximalCliques, CycleHasEdges) {
+  const Graph g = BuildGraph(CycleGraph(9));
+  EXPECT_EQ(CountMaximalCliques(g).total.value(), static_cast<uint128>(9));
+}
+
+TEST(MaximalCliques, TuranTransversals) {
+  // T(9, 3) with parts of 3: maximal cliques are the 3*3*3 transversals.
+  const Graph g = BuildGraph(TuranGraph(9, 3));
+  const MaximalCliqueStats stats = CountMaximalCliques(g);
+  EXPECT_EQ(stats.total.value(), static_cast<uint128>(27));
+  EXPECT_EQ(stats.largest, 3u);
+}
+
+TEST(MaximalCliques, MoonMoserBound) {
+  // K_{3,3,3,3} (complement of 4 disjoint triangles) has 3^4 = 81 maximal
+  // cliques — the Moon-Moser extremal family.
+  const Graph g = BuildGraph(TuranGraph(12, 4));
+  EXPECT_EQ(CountMaximalCliques(g).total.value(),
+            static_cast<uint128>(81));
+}
+
+TEST(MaximalCliques, IsolatedVerticesAreMaximal) {
+  const Graph g = BuildUndirected({{0, 1}}, 4);
+  const MaximalCliqueStats stats = CountMaximalCliques(g);
+  // {0,1} plus two isolated 1-cliques.
+  EXPECT_EQ(stats.total.value(), static_cast<uint128>(3));
+  EXPECT_EQ(stats.by_size[1].value(), static_cast<uint128>(2));
+}
+
+using SweepParam = std::tuple<int, double, int>;
+class MaximalSweep : public ::testing::TestWithParam<SweepParam> {};
+
+TEST_P(MaximalSweep, MatchesBruteForce) {
+  const auto [n, p, seed] = GetParam();
+  const Graph g = BuildGraph(
+      ErdosRenyi(static_cast<NodeId>(n), p, static_cast<std::uint64_t>(seed)));
+  const Graph full = BuildUndirected(
+      [&] {
+        EdgeList edges;
+        for (NodeId u = 0; u < g.NumNodes(); ++u)
+          for (NodeId v : g.Neighbors(u))
+            if (u < v) edges.emplace_back(u, v);
+        return edges;
+      }(),
+      static_cast<NodeId>(n));
+  const auto expected = BruteForceMaximalCliques(full);
+
+  // Counting agrees...
+  const MaximalCliqueStats stats = CountMaximalCliques(full);
+  EXPECT_EQ(stats.total.value(), static_cast<uint128>(expected.size()));
+
+  // ...and listing produces exactly the expected set, each clique once.
+  std::set<std::set<NodeId>> listed;
+  ForEachMaximalClique(full, [&](std::span<const NodeId> clique) {
+    std::set<NodeId> members(clique.begin(), clique.end());
+    EXPECT_EQ(members.size(), clique.size()) << "duplicate member";
+    EXPECT_TRUE(listed.insert(members).second) << "clique listed twice";
+  });
+  EXPECT_EQ(listed, expected);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    RandomGraphs, MaximalSweep,
+    ::testing::Combine(::testing::Values(8, 12, 16),
+                       ::testing::Values(0.25, 0.5, 0.75),
+                       ::testing::Values(1, 2, 3)));
+
+TEST(MaximalCliques, BySizeSumsToTotal) {
+  EdgeList edges = GnM(60, 300, 5);
+  PlantCliques(&edges, 60, 2, 6, 9, 6);
+  const Graph g = BuildGraph(std::move(edges));
+  const MaximalCliqueStats stats = CountMaximalCliques(g);
+  BigCount sum{};
+  for (const BigCount& c : stats.by_size) sum += c;
+  EXPECT_EQ(sum, stats.total);
+}
+
+TEST(CliqueNumberFn, MatchesPlantedClique) {
+  EdgeList edges = GnM(200, 600, 7);
+  PlantCliques(&edges, 200, 1, 12, 12, 8);
+  const Graph g = BuildGraph(std::move(edges));
+  EXPECT_EQ(CliqueNumber(g), 12u);
+}
+
+}  // namespace
+}  // namespace pivotscale

@@ -1,0 +1,409 @@
+// Correctness tests for the pivot counting core: every subgraph structure
+// and counting mode is cross-validated against brute force on reference
+// graphs and randomized property sweeps.
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "graph/builder.h"
+#include "graph/dag.h"
+#include "graph/generators.h"
+#include "order/core_order.h"
+#include "pivot/count.h"
+#include "pivot/pivotscale.h"
+#include "test_helpers.h"
+#include "util/binomial.h"
+
+namespace pivotscale {
+namespace {
+
+using testing_helpers::BruteForceCount;
+using testing_helpers::BruteForcePerVertex;
+using testing_helpers::MakeDag;
+
+BigCount Count(const Graph& g, std::uint32_t k, SubgraphKind structure,
+               OrderingKind order = OrderingKind::kCore) {
+  const Graph dag = MakeDag(g, order);
+  CountOptions options;
+  options.k = k;
+  options.structure = structure;
+  return CountCliques(dag, options).total;
+}
+
+// ---------------------------------------------------------------- closed forms
+
+TEST(Pivoter, CompleteGraphAllStructures) {
+  const Graph g = BuildGraph(CompleteGraph(10));
+  for (auto structure : {SubgraphKind::kDense, SubgraphKind::kSparse,
+                         SubgraphKind::kRemap}) {
+    for (std::uint32_t k = 1; k <= 10; ++k) {
+      EXPECT_EQ(Count(g, k, structure).value(), BinomialChoose(10, k))
+          << SubgraphKindName(structure) << " k=" << k;
+    }
+  }
+}
+
+TEST(Pivoter, PathAndCycleHaveNoTriangles) {
+  const Graph path = BuildGraph(PathGraph(20));
+  const Graph cycle = BuildGraph(CycleGraph(20));
+  EXPECT_EQ(Count(path, 3, SubgraphKind::kRemap).value(),
+            static_cast<uint128>(0));
+  EXPECT_EQ(Count(cycle, 3, SubgraphKind::kRemap).value(),
+            static_cast<uint128>(0));
+  EXPECT_EQ(Count(path, 2, SubgraphKind::kRemap).value(),
+            static_cast<uint128>(19));
+}
+
+TEST(Pivoter, StarGraphEdgesOnly) {
+  const Graph g = BuildGraph(StarGraph(12));
+  EXPECT_EQ(Count(g, 2, SubgraphKind::kRemap).value(),
+            static_cast<uint128>(11));
+  EXPECT_EQ(Count(g, 3, SubgraphKind::kRemap).value(),
+            static_cast<uint128>(0));
+}
+
+TEST(Pivoter, TuranClosedForm) {
+  // T(12, 4) with balanced parts of 3: k-cliques pick k parts, one vertex
+  // each: C(4, k) * 3^k.
+  const Graph g = BuildGraph(TuranGraph(12, 4));
+  for (std::uint32_t k = 1; k <= 5; ++k) {
+    uint128 expected = BinomialChoose(4, k);
+    for (std::uint32_t i = 0; i < k; ++i) expected *= 3;
+    EXPECT_EQ(Count(g, k, SubgraphKind::kRemap).value(), expected) << k;
+  }
+}
+
+TEST(Pivoter, CompleteBipartiteNoTriangles) {
+  const Graph g = BuildGraph(CompleteBipartite(5, 7));
+  EXPECT_EQ(Count(g, 2, SubgraphKind::kRemap).value(),
+            static_cast<uint128>(35));
+  EXPECT_EQ(Count(g, 3, SubgraphKind::kRemap).value(),
+            static_cast<uint128>(0));
+}
+
+TEST(Pivoter, KEqualsOneCountsVertices) {
+  const Graph g = BuildGraph(Rmat(7, 4.0, 3));
+  EXPECT_EQ(Count(g, 1, SubgraphKind::kRemap).value(),
+            static_cast<uint128>(g.NumNodes()));
+}
+
+TEST(Pivoter, KEqualsTwoCountsEdges) {
+  const Graph g = BuildGraph(Rmat(7, 4.0, 5));
+  EXPECT_EQ(Count(g, 2, SubgraphKind::kRemap).value(),
+            static_cast<uint128>(g.NumUndirectedEdges()));
+}
+
+TEST(Pivoter, EmptyAndTinyGraphs) {
+  const Graph empty = BuildGraph({});
+  const Graph lone = BuildUndirected({}, 1);
+  CountOptions options;
+  options.k = 3;
+  EXPECT_EQ(CountCliques(Directionalize(empty, std::vector<NodeId>{}),
+                         options)
+                .total.value(),
+            static_cast<uint128>(0));
+  EXPECT_EQ(
+      CountCliques(Directionalize(lone, std::vector<NodeId>{0}), options)
+          .total.value(),
+      static_cast<uint128>(0));
+}
+
+// ---------------------------------------------------------------- property sweep
+
+// (n, edge probability, seed, k)
+using SweepParam = std::tuple<int, double, int, int>;
+
+class PivoterSweep : public ::testing::TestWithParam<SweepParam> {};
+
+TEST_P(PivoterSweep, MatchesBruteForceOnAllStructuresAndOrderings) {
+  const auto [n, p, seed, k] = GetParam();
+  const Graph g = BuildGraph(
+      ErdosRenyi(static_cast<NodeId>(n), p, static_cast<std::uint64_t>(seed)));
+  if (g.NumNodes() == 0) GTEST_SKIP() << "degenerate empty instance";
+  const std::uint64_t expected =
+      BruteForceCount(g, static_cast<std::uint32_t>(k));
+
+  for (auto order : {OrderingKind::kDegree, OrderingKind::kCore,
+                     OrderingKind::kKCore}) {
+    for (auto structure : {SubgraphKind::kDense, SubgraphKind::kSparse,
+                           SubgraphKind::kRemap}) {
+      EXPECT_EQ(
+          Count(g, static_cast<std::uint32_t>(k), structure, order).value(),
+          static_cast<uint128>(expected))
+          << "structure=" << SubgraphKindName(structure)
+          << " n=" << n << " p=" << p << " seed=" << seed << " k=" << k;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    RandomGraphs, PivoterSweep,
+    ::testing::Combine(::testing::Values(8, 14, 22, 30),
+                       ::testing::Values(0.2, 0.45, 0.7),
+                       ::testing::Values(1, 2, 3),
+                       ::testing::Values(2, 3, 4, 5, 6)));
+
+// ---------------------------------------------------------------- all-k mode
+
+TEST(PivoterAllK, PerSizeMatchesSingleKCounts) {
+  const Graph g = BuildGraph(ErdosRenyi(40, 0.4, 99));
+  const Graph dag = MakeDag(g, OrderingKind::kCore);
+  CountOptions all;
+  all.mode = CountMode::kAllK;
+  all.k = 3;
+  const CountResult all_result = CountCliques(dag, all);
+  for (std::uint32_t k = 1; k <= 8; ++k) {
+    CountOptions single;
+    single.k = k;
+    EXPECT_EQ(all_result.per_size[k], CountCliques(dag, single).total) << k;
+  }
+}
+
+TEST(PivoterAllK, CompleteGraphPerSize) {
+  const Graph g = BuildGraph(CompleteGraph(12));
+  const Graph dag = MakeDag(g, OrderingKind::kCore);
+  CountOptions options;
+  options.mode = CountMode::kAllK;
+  const CountResult result = CountCliques(dag, options);
+  for (std::uint32_t s = 1; s <= 12; ++s)
+    EXPECT_EQ(result.per_size[s], BigCount(BinomialChoose(12, s))) << s;
+  // No cliques beyond n.
+  for (std::size_t s = 13; s < result.per_size.size(); ++s)
+    EXPECT_EQ(result.per_size[s], BigCount{}) << s;
+}
+
+TEST(PivoterAllK, LargestNonzeroSizeIsMaxClique) {
+  // One planted 9-clique in noise: k_max must be exactly 9.
+  EdgeList edges = GnM(60, 40, 7);
+  PlantCliques(&edges, 60, 1, 9, 9, 8);
+  const Graph g = BuildGraph(std::move(edges));
+  const Graph dag = MakeDag(g, OrderingKind::kCore);
+  CountOptions options;
+  options.mode = CountMode::kAllK;
+  const CountResult result = CountCliques(dag, options);
+  std::size_t kmax = 0;
+  for (std::size_t s = 1; s < result.per_size.size(); ++s)
+    if (result.per_size[s] != BigCount{}) kmax = s;
+  EXPECT_EQ(kmax, 9u);
+}
+
+TEST(PivoterAllK, TotalIsPerSizeAtK) {
+  const Graph g = BuildGraph(ErdosRenyi(30, 0.5, 17));
+  const Graph dag = MakeDag(g, OrderingKind::kDegree);
+  CountOptions options;
+  options.mode = CountMode::kAllK;
+  options.k = 4;
+  const CountResult result = CountCliques(dag, options);
+  EXPECT_EQ(result.total, result.per_size[4]);
+}
+
+// ---------------------------------------------------------------- per-vertex
+
+TEST(PivoterPerVertex, SumsToKTimesTotal) {
+  const Graph g = BuildGraph(ErdosRenyi(35, 0.4, 21));
+  const Graph dag = MakeDag(g, OrderingKind::kCore);
+  CountOptions options;
+  options.k = 4;
+  options.per_vertex = true;
+  const CountResult result = CountCliques(dag, options);
+  BigCount sum{};
+  for (const BigCount& c : result.per_vertex) sum += c;
+  EXPECT_EQ(sum, result.total * BigCount(4));
+}
+
+TEST(PivoterPerVertex, MatchesBruteForce) {
+  const Graph g = BuildGraph(ErdosRenyi(25, 0.5, 29));
+  const auto expected = BruteForcePerVertex(g, 4);
+  for (auto structure : {SubgraphKind::kDense, SubgraphKind::kSparse,
+                         SubgraphKind::kRemap}) {
+    const Graph dag = MakeDag(g, OrderingKind::kCore);
+    CountOptions options;
+    options.k = 4;
+    options.per_vertex = true;
+    options.structure = structure;
+    const CountResult result = CountCliques(dag, options);
+    ASSERT_EQ(result.per_vertex.size(), expected.size());
+    for (NodeId v = 0; v < g.NumNodes(); ++v)
+      EXPECT_EQ(result.per_vertex[v].value(),
+                static_cast<uint128>(expected[v]))
+          << "structure=" << SubgraphKindName(structure) << " v=" << v;
+  }
+}
+
+TEST(PivoterPerVertex, CompleteGraphUniform) {
+  const Graph g = BuildGraph(CompleteGraph(8));
+  const Graph dag = MakeDag(g, OrderingKind::kDegree);
+  CountOptions options;
+  options.k = 3;
+  options.per_vertex = true;
+  const CountResult result = CountCliques(dag, options);
+  // Each vertex of K_8 is in C(7, 2) = 21 triangles.
+  for (NodeId v = 0; v < 8; ++v)
+    EXPECT_EQ(result.per_vertex[v].value(), static_cast<uint128>(21));
+}
+
+// ---------------------------------------------------------------- big counts
+
+TEST(Pivoter, PlantedCliqueCountsExplode) {
+  // A 40-clique alone: C(40, 20) ~ 1.4e11 20-cliques, exact.
+  const Graph g = BuildGraph(CompleteGraph(40));
+  EXPECT_EQ(Count(g, 20, SubgraphKind::kRemap).value(),
+            BinomialChoose(40, 20));
+}
+
+TEST(Pivoter, SaturationOnAstronomicalCounts) {
+  // K_140 has C(140, 70) ~ 9e40 70-cliques > 2^128-1: must saturate, not
+  // wrap.
+  const Graph g = BuildGraph(CompleteGraph(140));
+  const BigCount count = Count(g, 70, SubgraphKind::kRemap);
+  EXPECT_TRUE(count.saturated());
+}
+
+// ---------------------------------------------------------------- option validation
+
+TEST(CountOptionsValidation, RejectsUndirectedInput) {
+  const Graph g = BuildGraph(CompleteGraph(4));
+  CountOptions options;
+  EXPECT_THROW(CountCliques(g, options), std::invalid_argument);
+}
+
+TEST(CountOptionsValidation, RejectsPerVertexAllK) {
+  const Graph g = BuildGraph(CompleteGraph(4));
+  const Graph dag = MakeDag(g, OrderingKind::kDegree);
+  CountOptions options;
+  options.per_vertex = true;
+  options.mode = CountMode::kAllK;
+  EXPECT_THROW(CountCliques(dag, options), std::invalid_argument);
+}
+
+TEST(CountOptionsValidation, RejectsZeroK) {
+  const Graph g = BuildGraph(CompleteGraph(4));
+  const Graph dag = MakeDag(g, OrderingKind::kDegree);
+  CountOptions options;
+  options.k = 0;
+  EXPECT_THROW(CountCliques(dag, options), std::invalid_argument);
+}
+
+// ---------------------------------------------------------------- instrumentation
+
+TEST(PivoterStats, OpStatsPopulated) {
+  const Graph g = BuildGraph(ErdosRenyi(60, 0.3, 33));
+  const Graph dag = MakeDag(g, OrderingKind::kCore);
+  CountOptions options;
+  options.k = 4;
+  options.collect_op_stats = true;
+  const CountResult result = CountCliques(dag, options);
+  EXPECT_GT(result.ops.calls, 0u);
+  EXPECT_GT(result.ops.edge_ops, 0u);
+  EXPECT_GT(result.ops.induces, 0u);
+  // Counts must be identical with and without instrumentation.
+  CountOptions plain;
+  plain.k = 4;
+  EXPECT_EQ(result.total, CountCliques(dag, plain).total);
+}
+
+TEST(PivoterStats, WorkTraceCoversAllRootsAndMatchesTotals) {
+  const Graph g = BuildGraph(ErdosRenyi(50, 0.3, 37));
+  const Graph dag = MakeDag(g, OrderingKind::kCore);
+  CountOptions options;
+  options.k = 4;
+  options.collect_work_trace = true;
+  const CountResult result = CountCliques(dag, options);
+  ASSERT_EQ(result.work_trace.roots.size(), dag.NumNodes());
+  EXPECT_EQ(result.work_trace.TotalEdgeOps(), result.ops.edge_ops);
+  // Every root appears exactly once.
+  std::vector<bool> seen(dag.NumNodes(), false);
+  for (const RootWork& w : result.work_trace.roots) {
+    EXPECT_FALSE(seen[w.root]);
+    seen[w.root] = true;
+  }
+}
+
+TEST(PivoterStats, DegreeOrderingDoesMoreWorkThanCore) {
+  // The Table II relationship: counting under a degree ordering never does
+  // less algorithmic work than under the core ordering (on a graph where
+  // the orderings actually differ).
+  EdgeList edges = Rmat(9, 8.0, 41);
+  PlantCliques(&edges, 256, 5, 6, 12, 42);
+  const Graph g = BuildGraph(std::move(edges));
+  CountOptions options;
+  options.k = 6;
+  options.collect_op_stats = true;
+  const CountResult core =
+      CountCliques(MakeDag(g, OrderingKind::kCore), options);
+  const CountResult degree =
+      CountCliques(MakeDag(g, OrderingKind::kDegree), options);
+  EXPECT_EQ(core.total, degree.total);
+  EXPECT_GE(degree.ops.edge_ops * 105 / 100, core.ops.edge_ops);
+}
+
+TEST(PivoterStats, WorkspaceDenseLargerThanRemap) {
+  const Graph g = BuildGraph(Rmat(12, 6.0, 43));
+  const Graph dag = MakeDag(g, OrderingKind::kCore);
+  CountOptions dense, remap;
+  dense.structure = SubgraphKind::kDense;
+  remap.structure = SubgraphKind::kRemap;
+  const auto dense_bytes = CountCliques(dag, dense).workspace_bytes;
+  const auto remap_bytes = CountCliques(dag, remap).workspace_bytes;
+  EXPECT_GT(dense_bytes, 4 * remap_bytes);
+}
+
+// ---------------------------------------------------------------- pipeline
+
+TEST(Pipeline, MatchesDirectCount) {
+  const Graph g = BuildGraph(ErdosRenyi(80, 0.2, 51));
+  PivotScaleOptions options;
+  options.k = 4;
+  options.heuristic.min_nodes = 10;
+  const PivotScaleResult result = CountKCliques(g, options);
+  EXPECT_EQ(result.total,
+            Count(g, 4, SubgraphKind::kRemap, OrderingKind::kCore));
+  EXPECT_GT(result.total_seconds, 0.0);
+  EXPECT_FALSE(result.ordering_name.empty());
+}
+
+TEST(Pipeline, ForcedOrderingsAllAgree) {
+  EdgeList edges = GnM(120, 600, 53);
+  PlantCliques(&edges, 120, 3, 5, 9, 54);
+  const Graph g = BuildGraph(std::move(edges));
+  BigCount reference{};
+  bool first = true;
+  for (auto kind :
+       {OrderingKind::kDegree, OrderingKind::kCore, OrderingKind::kApproxCore,
+        OrderingKind::kKCore, OrderingKind::kCentrality}) {
+    PivotScaleOptions options;
+    options.k = 5;
+    options.forced_ordering = OrderingSpec{kind, -0.5, 3};
+    const PivotScaleResult result = CountKCliques(g, options);
+    if (first) {
+      reference = result.total;
+      first = false;
+    } else {
+      EXPECT_EQ(result.total, reference) << OrderingSpecName({kind});
+    }
+  }
+}
+
+TEST(Pipeline, AllKMode) {
+  const Graph g = BuildGraph(CompleteGraph(9));
+  PivotScaleOptions options;
+  options.k = 4;
+  options.all_k = true;
+  const PivotScaleResult result = CountKCliques(g, options);
+  EXPECT_EQ(result.total.value(), BinomialChoose(9, 4));
+  EXPECT_EQ(result.count.per_size[2].value(), BinomialChoose(9, 2));
+}
+
+TEST(Pipeline, RejectsDagInput) {
+  const Graph g = BuildGraph(CompleteGraph(4));
+  const Graph dag = MakeDag(g, OrderingKind::kDegree);
+  EXPECT_THROW(CountKCliques(dag, {}), std::invalid_argument);
+}
+
+TEST(Pipeline, SimpleWrapper) {
+  const Graph g = BuildGraph(CompleteGraph(7));
+  EXPECT_EQ(CountKCliquesSimple(g, 3).value(), BinomialChoose(7, 3));
+}
+
+}  // namespace
+}  // namespace pivotscale

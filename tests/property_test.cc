@@ -1,0 +1,180 @@
+// Property-style invariants of exact clique counting, exercised through
+// the production pipeline (not brute force): any total order is a valid
+// ordering, counts add over disjoint unions, counts are monotone under
+// edge insertion, and structural no-ops leave counts unchanged.
+#include <gtest/gtest.h>
+
+#include <numeric>
+#include <tuple>
+
+#include "graph/builder.h"
+#include "graph/dag.h"
+#include "graph/generators.h"
+#include "graph/transform.h"
+#include "pivot/count.h"
+#include "test_helpers.h"
+#include "util/binomial.h"
+#include "util/rng.h"
+
+namespace pivotscale {
+namespace {
+
+using testing_helpers::MakeDag;
+
+BigCount CountWith(const Graph& g, std::uint32_t k,
+                   std::span<const NodeId> ranks) {
+  const Graph dag = Directionalize(g, ranks);
+  CountOptions options;
+  options.k = k;
+  return CountCliques(dag, options).total;
+}
+
+// ---------------------------------------------------- ordering invariance
+
+class RandomOrderInvariance
+    : public ::testing::TestWithParam<std::tuple<int, int>> {};
+
+TEST_P(RandomOrderInvariance, AnyPermutationCountsTheSame) {
+  const auto [seed, k] = GetParam();
+  EdgeList edges = Rmat(9, 6.0, static_cast<std::uint64_t>(seed));
+  PlantCliques(&edges, 512, 3, 5, 10, static_cast<std::uint64_t>(seed) + 100);
+  const Graph g = BuildGraph(std::move(edges));
+
+  // Reference: core ordering.
+  const BigCount reference = CountWith(
+      g, static_cast<std::uint32_t>(k),
+      ComputeOrdering(g, {OrderingKind::kCore}).ranks);
+
+  // Three random total orders must give identical counts — the counting
+  // theorem depends only on acyclicity, not ordering quality.
+  Rng rng(static_cast<std::uint64_t>(seed) * 7 + 1);
+  for (int trial = 0; trial < 3; ++trial) {
+    std::vector<NodeId> ranks(g.NumNodes());
+    std::iota(ranks.begin(), ranks.end(), NodeId{0});
+    for (NodeId i = g.NumNodes(); i > 1; --i)
+      std::swap(ranks[i - 1], ranks[rng.Below(i)]);
+    EXPECT_EQ(CountWith(g, static_cast<std::uint32_t>(k), ranks),
+              reference)
+        << "seed=" << seed << " k=" << k << " trial=" << trial;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, RandomOrderInvariance,
+                         ::testing::Combine(::testing::Values(1, 2, 3, 4),
+                                            ::testing::Values(3, 5, 8)));
+
+// ---------------------------------------------------- union additivity
+
+TEST(CountingInvariants, DisjointUnionAddsViaPipeline) {
+  EdgeList ea = GnM(200, 900, 21);
+  PlantCliques(&ea, 200, 2, 6, 9, 22);
+  const Graph a = BuildGraph(std::move(ea));
+  const Graph b = BuildGraph(Rmat(8, 8.0, 23));
+  const Graph u = DisjointUnion(a, b);
+  for (std::uint32_t k : {3u, 5u, 7u}) {
+    const BigCount ca = CountWith(
+        a, k, ComputeOrdering(a, {OrderingKind::kCore}).ranks);
+    const BigCount cb = CountWith(
+        b, k, ComputeOrdering(b, {OrderingKind::kCore}).ranks);
+    const BigCount cu = CountWith(
+        u, k, ComputeOrdering(u, {OrderingKind::kCore}).ranks);
+    EXPECT_EQ(cu, ca + cb) << k;
+  }
+}
+
+// ---------------------------------------------------- edge monotonicity
+
+TEST(CountingInvariants, AddingEdgesNeverDecreasesCounts) {
+  Rng rng(31);
+  EdgeList edges = GnM(60, 200, 33);
+  Graph g = BuildUndirected(EdgeList(edges), 60);
+  BigCount last = CountWith(
+      g, 4, ComputeOrdering(g, {OrderingKind::kDegree}).ranks);
+  for (int step = 0; step < 10; ++step) {
+    // Add 20 random (possibly duplicate) edges.
+    for (int i = 0; i < 20; ++i) {
+      const NodeId u = static_cast<NodeId>(rng.Below(60));
+      const NodeId v = static_cast<NodeId>(rng.Below(60));
+      if (u != v) edges.emplace_back(u, v);
+    }
+    g = BuildUndirected(EdgeList(edges), 60);
+    const BigCount now = CountWith(
+        g, 4, ComputeOrdering(g, {OrderingKind::kDegree}).ranks);
+    EXPECT_GE(now, last) << step;
+    last = now;
+  }
+}
+
+TEST(CountingInvariants, FillingToCompleteReachesBinomial) {
+  // Keep adding all missing edges: the final count is C(n, k).
+  const NodeId n = 18;
+  const Graph g = BuildGraph(CompleteGraph(n));
+  for (std::uint32_t k = 2; k <= 6; ++k) {
+    EXPECT_EQ(
+        CountWith(g, k, ComputeOrdering(g, {OrderingKind::kCore}).ranks)
+            .value(),
+        BinomialChoose(n, k));
+  }
+}
+
+// ---------------------------------------------------- structural no-ops
+
+TEST(CountingInvariants, IsolatedVerticesDontMatter) {
+  EdgeList edges = GnM(80, 400, 41);
+  const Graph tight = BuildGraph(EdgeList(edges));
+  const Graph padded = BuildUndirected(EdgeList(edges), 200);
+  for (std::uint32_t k : {2u, 4u, 6u}) {
+    EXPECT_EQ(
+        CountWith(tight, k,
+                  ComputeOrdering(tight, {OrderingKind::kCore}).ranks),
+        CountWith(padded, k,
+                  ComputeOrdering(padded, {OrderingKind::kCore}).ranks))
+        << k;
+  }
+}
+
+TEST(CountingInvariants, PendantVertexOnlyAddsAnEdge) {
+  EdgeList edges = GnM(50, 300, 43);
+  const Graph base = BuildUndirected(EdgeList(edges), 51);
+  edges.emplace_back(7, 50);  // vertex 50 becomes a pendant of 7
+  const Graph pendant = BuildUndirected(std::move(edges), 51);
+
+  const auto count = [](const Graph& g, std::uint32_t k) {
+    return CountWith(g, k,
+                     ComputeOrdering(g, {OrderingKind::kDegree}).ranks);
+  };
+  EXPECT_EQ(count(pendant, 2), count(base, 2) + BigCount{1});
+  EXPECT_EQ(count(pendant, 3), count(base, 3));
+  EXPECT_EQ(count(pendant, 5), count(base, 5));
+}
+
+TEST(CountingInvariants, RelabelingIsInvariant) {
+  EdgeList edges = Rmat(8, 8.0, 47);
+  PlantCliques(&edges, 256, 2, 6, 10, 48);
+  EdgeList shuffled = edges;
+  ShuffleVertexIds(&shuffled, 256, 49);
+  const Graph a = BuildUndirected(std::move(edges), 256);
+  const Graph b = BuildUndirected(std::move(shuffled), 256);
+  for (std::uint32_t k : {3u, 6u, 9u}) {
+    EXPECT_EQ(
+        CountWith(a, k, ComputeOrdering(a, {OrderingKind::kCore}).ranks),
+        CountWith(b, k, ComputeOrdering(b, {OrderingKind::kCore}).ranks))
+        << k;
+  }
+}
+
+// ------------------------------------------- small-world generator counts
+
+TEST(CountingInvariants, WattsStrogatzLatticeClosedForm) {
+  // Ring lattice (no rewiring), k_nearest = 4: each vertex closes exactly
+  // its two "adjacent step" triangles; total triangles = n (for n > 6):
+  // triangle {u, u+1, u+2} once per u plus no others.
+  const NodeId n = 40;
+  const Graph g = BuildGraph(WattsStrogatz(n, 4, 0.0, 1));
+  const BigCount triangles = CountWith(
+      g, 3, ComputeOrdering(g, {OrderingKind::kDegree}).ranks);
+  EXPECT_EQ(triangles.value(), static_cast<uint128>(n));
+}
+
+}  // namespace
+}  // namespace pivotscale

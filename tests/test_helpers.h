@@ -1,0 +1,96 @@
+// Shared helpers for the test suite: a brute-force k-clique counter used as
+// ground truth, plus small convenience builders.
+#ifndef PIVOTSCALE_TESTS_TEST_HELPERS_H_
+#define PIVOTSCALE_TESTS_TEST_HELPERS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/builder.h"
+#include "graph/dag.h"
+#include "graph/graph.h"
+#include "order/ordering.h"
+#include "util/uint128.h"
+
+namespace pivotscale {
+namespace testing_helpers {
+
+// Brute-force k-clique counting by ordered extension: each partial clique
+// is extended only with higher-numbered vertices adjacent to every member.
+// Exponential — use only on small graphs. This is the ground truth every
+// production counter is validated against.
+inline std::uint64_t BruteForceCountRecurse(
+    const Graph& g, std::vector<NodeId>& clique, NodeId next,
+    std::uint32_t k) {
+  if (clique.size() == k) return 1;
+  std::uint64_t total = 0;
+  for (NodeId v = next; v < g.NumNodes(); ++v) {
+    bool adjacent_to_all = true;
+    for (NodeId u : clique) {
+      if (!g.HasEdge(u, v)) {
+        adjacent_to_all = false;
+        break;
+      }
+    }
+    if (adjacent_to_all) {
+      clique.push_back(v);
+      total += BruteForceCountRecurse(g, clique, v + 1, k);
+      clique.pop_back();
+    }
+  }
+  return total;
+}
+
+inline std::uint64_t BruteForceCount(const Graph& g, std::uint32_t k) {
+  if (k == 0) return 1;  // the empty clique
+  std::vector<NodeId> clique;
+  return BruteForceCountRecurse(g, clique, 0, k);
+}
+
+// Brute-force per-vertex participation: clique counts that contain vertex v.
+inline std::vector<std::uint64_t> BruteForcePerVertex(const Graph& g,
+                                                      std::uint32_t k) {
+  std::vector<std::uint64_t> counts(g.NumNodes(), 0);
+  std::vector<NodeId> clique;
+  // Enumerate all k-cliques and attribute to each member.
+  struct Enumerator {
+    const Graph& g;
+    std::uint32_t k;
+    std::vector<std::uint64_t>& counts;
+    std::vector<NodeId> clique;
+    void Go(NodeId next) {
+      if (clique.size() == k) {
+        for (NodeId u : clique) ++counts[u];
+        return;
+      }
+      for (NodeId v = next; v < g.NumNodes(); ++v) {
+        bool ok = true;
+        for (NodeId u : clique)
+          if (!g.HasEdge(u, v)) {
+            ok = false;
+            break;
+          }
+        if (ok) {
+          clique.push_back(v);
+          Go(v + 1);
+          clique.pop_back();
+        }
+      }
+    }
+  } e{g, k, counts, {}};
+  e.Go(0);
+  return counts;
+}
+
+// Directionalizes by a given ordering spec — the common test preamble.
+inline Graph MakeDag(const Graph& g, OrderingKind kind) {
+  OrderingSpec spec;
+  spec.kind = kind;
+  const Ordering ordering = ComputeOrdering(g, spec);
+  return Directionalize(g, ordering.ranks);
+}
+
+}  // namespace testing_helpers
+}  // namespace pivotscale
+
+#endif  // PIVOTSCALE_TESTS_TEST_HELPERS_H_

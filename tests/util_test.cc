@@ -1,0 +1,396 @@
+// Unit tests for the utility substrate: RNG, 128-bit saturating counters,
+// binomial tables, byte maps, sparse sets, prefix sums, CLI parsing, stats.
+#include <gtest/gtest.h>
+
+#include <set>
+#include <vector>
+
+#include "util/binomial.h"
+#include "util/bytemap.h"
+#include "util/cli.h"
+#include "util/prefix_sum.h"
+#include "util/rng.h"
+#include "util/sparse_set.h"
+#include "util/stats.h"
+#include "util/table.h"
+#include "util/uint128.h"
+
+namespace pivotscale {
+namespace {
+
+// ---------------------------------------------------------------- rng
+
+TEST(Rng, DeterministicForSeed) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.Next(), b.Next());
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i)
+    if (a.Next() == b.Next()) ++same;
+  EXPECT_LT(same, 2);
+}
+
+TEST(Rng, BelowRespectsBound) {
+  Rng rng(7);
+  for (std::uint64_t bound : {1ull, 2ull, 3ull, 10ull, 1000ull}) {
+    for (int i = 0; i < 200; ++i) EXPECT_LT(rng.Below(bound), bound);
+  }
+}
+
+TEST(Rng, BelowCoversRange) {
+  Rng rng(11);
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 500; ++i) seen.insert(rng.Below(8));
+  EXPECT_EQ(seen.size(), 8u);
+}
+
+TEST(Rng, BetweenInclusive) {
+  Rng rng(13);
+  std::set<std::int64_t> seen;
+  for (int i = 0; i < 500; ++i) {
+    const std::int64_t v = rng.Between(-2, 2);
+    EXPECT_GE(v, -2);
+    EXPECT_LE(v, 2);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 5u);
+}
+
+TEST(Rng, NextDoubleInUnitInterval) {
+  Rng rng(17);
+  for (int i = 0; i < 1000; ++i) {
+    const double d = rng.NextDouble();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+  }
+}
+
+TEST(Rng, ChanceExtremes) {
+  Rng rng(19);
+  for (int i = 0; i < 50; ++i) {
+    EXPECT_FALSE(rng.Chance(0.0));
+    EXPECT_TRUE(rng.Chance(1.0));
+  }
+}
+
+TEST(Rng, ChanceApproximatesProbability) {
+  Rng rng(23);
+  int hits = 0;
+  const int trials = 20000;
+  for (int i = 0; i < trials; ++i)
+    if (rng.Chance(0.3)) ++hits;
+  EXPECT_NEAR(static_cast<double>(hits) / trials, 0.3, 0.02);
+}
+
+TEST(SplitMix64, MixIsStateless) {
+  EXPECT_EQ(SplitMix64::Mix(42), SplitMix64::Mix(42));
+  EXPECT_NE(SplitMix64::Mix(42), SplitMix64::Mix(43));
+}
+
+// ---------------------------------------------------------------- uint128
+
+TEST(Uint128, ToStringSmall) {
+  EXPECT_EQ(ToString(static_cast<uint128>(0)), "0");
+  EXPECT_EQ(ToString(static_cast<uint128>(7)), "7");
+  EXPECT_EQ(ToString(static_cast<uint128>(1234567890)), "1234567890");
+}
+
+TEST(Uint128, ToStringLarge) {
+  // 2^64 = 18446744073709551616
+  const uint128 v = static_cast<uint128>(1) << 64;
+  EXPECT_EQ(ToString(v), "18446744073709551616");
+}
+
+TEST(Uint128, ToStringMax) {
+  EXPECT_EQ(ToString(kUint128Max),
+            "340282366920938463463374607431768211455");
+}
+
+TEST(Uint128, ParseRoundTrip) {
+  for (const char* s :
+       {"0", "1", "999", "18446744073709551616",
+        "340282366920938463463374607431768211455"}) {
+    uint128 v = 0;
+    ASSERT_TRUE(ParseUint128(s, &v));
+    EXPECT_EQ(ToString(v), s);
+  }
+}
+
+TEST(Uint128, ParseRejectsGarbage) {
+  uint128 v = 0;
+  EXPECT_FALSE(ParseUint128("", &v));
+  EXPECT_FALSE(ParseUint128("12a", &v));
+  EXPECT_FALSE(ParseUint128("-1", &v));
+}
+
+TEST(Uint128, SatAddSaturates) {
+  EXPECT_EQ(SatAdd(kUint128Max, 1), kUint128Max);
+  EXPECT_EQ(SatAdd(kUint128Max - 1, 1), kUint128Max);
+  EXPECT_EQ(SatAdd(kUint128Max, kUint128Max), kUint128Max);
+  EXPECT_EQ(SatAdd(5, 7), static_cast<uint128>(12));
+}
+
+TEST(Uint128, SatMulSaturates) {
+  const uint128 half = static_cast<uint128>(1) << 127;
+  EXPECT_EQ(SatMul(half, 2), kUint128Max);
+  EXPECT_EQ(SatMul(half, 1), half);
+  EXPECT_EQ(SatMul(0, kUint128Max), static_cast<uint128>(0));
+  EXPECT_EQ(SatMul(3, 4), static_cast<uint128>(12));
+}
+
+TEST(BigCount, ArithmeticAndComparison) {
+  BigCount a(10), b(3);
+  EXPECT_EQ((a + b).ToString(), "13");
+  EXPECT_EQ((a * b).ToString(), "30");
+  EXPECT_TRUE(b < a);
+  EXPECT_TRUE(a >= b);
+  EXPECT_TRUE(a != b);
+  EXPECT_FALSE(a.saturated());
+  EXPECT_TRUE(BigCount(kUint128Max).saturated());
+}
+
+TEST(BigCount, AsDoubleExactForSmall) {
+  EXPECT_DOUBLE_EQ(BigCount(1000000).AsDouble(), 1e6);
+}
+
+// ---------------------------------------------------------------- binomial
+
+TEST(Binomial, TableSmallValues) {
+  BinomialTable t(10);
+  EXPECT_EQ(t.Choose(0, 0), static_cast<uint128>(1));
+  EXPECT_EQ(t.Choose(5, 2), static_cast<uint128>(10));
+  EXPECT_EQ(t.Choose(10, 5), static_cast<uint128>(252));
+  EXPECT_EQ(t.Choose(10, 0), static_cast<uint128>(1));
+  EXPECT_EQ(t.Choose(10, 10), static_cast<uint128>(1));
+}
+
+TEST(Binomial, ChooseKGreaterThanNIsZero) {
+  BinomialTable t(5);
+  EXPECT_EQ(t.Choose(3, 4), static_cast<uint128>(0));
+  EXPECT_EQ(BinomialChoose(3, 4), static_cast<uint128>(0));
+}
+
+TEST(Binomial, TableMatchesDirectComputation) {
+  BinomialTable t(40);
+  for (std::uint32_t n = 0; n <= 40; ++n)
+    for (std::uint32_t k = 0; k <= n; ++k)
+      EXPECT_EQ(t.Choose(n, k), BinomialChoose(n, k)) << n << " " << k;
+}
+
+TEST(Binomial, PaperExample24Choose12) {
+  // "a 24-clique contains over 2.7 million 12-cliques" (Section I).
+  EXPECT_EQ(ToString(BinomialChoose(24, 12)), "2704156");
+}
+
+TEST(Binomial, LargeValuesStay128Bit) {
+  // C(120, 60) ~ 9.6e34 fits in 128 bits.
+  BinomialTable t(120);
+  EXPECT_NE(t.Choose(120, 60), kUint128Max);
+  EXPECT_EQ(t.Choose(120, 60), BinomialChoose(120, 60));
+}
+
+TEST(Binomial, SaturatesInsteadOfWrapping) {
+  // C(140, 70) ~ 9.4e40 exceeds 2^128-1 ~ 3.4e38.
+  BinomialTable t(140);
+  EXPECT_EQ(t.Choose(140, 70), kUint128Max);
+}
+
+TEST(Binomial, EnsureRowsGrows) {
+  BinomialTable t(4);
+  t.EnsureRows(12);
+  EXPECT_EQ(t.Choose(12, 6), static_cast<uint128>(924));
+}
+
+TEST(Binomial, PascalIdentity) {
+  BinomialTable t(30);
+  for (std::uint32_t n = 2; n <= 30; ++n)
+    for (std::uint32_t k = 1; k < n; ++k)
+      EXPECT_EQ(t.Choose(n, k),
+                SatAdd(t.Choose(n - 1, k - 1), t.Choose(n - 1, k)));
+}
+
+// ---------------------------------------------------------------- bytemap
+
+TEST(ByteMap, SetTestUnset) {
+  ByteMap m(16);
+  EXPECT_FALSE(m.Test(3));
+  m.Set(3);
+  EXPECT_TRUE(m.Test(3));
+  m.Unset(3);
+  EXPECT_FALSE(m.Test(3));
+}
+
+TEST(ByteMap, ClearIds) {
+  ByteMap m(8);
+  std::vector<std::uint32_t> ids = {1, 4, 6};
+  for (auto id : ids) m.Set(id);
+  m.ClearIds(ids);
+  for (std::uint32_t i = 0; i < 8; ++i) EXPECT_FALSE(m.Test(i));
+}
+
+TEST(ByteMap, EnsureCapacityPreserves) {
+  ByteMap m(4);
+  m.Set(2);
+  m.EnsureCapacity(100);
+  EXPECT_TRUE(m.Test(2));
+  EXPECT_FALSE(m.Test(99));
+  EXPECT_GE(m.capacity(), 100u);
+}
+
+// ---------------------------------------------------------------- sparse set
+
+TEST(SparseSet, InsertEraseContains) {
+  SparseSet s(10);
+  EXPECT_TRUE(s.Insert(4));
+  EXPECT_FALSE(s.Insert(4));  // duplicate
+  EXPECT_TRUE(s.Contains(4));
+  EXPECT_EQ(s.size(), 1u);
+  EXPECT_TRUE(s.Erase(4));
+  EXPECT_FALSE(s.Erase(4));
+  EXPECT_FALSE(s.Contains(4));
+  EXPECT_TRUE(s.empty());
+}
+
+TEST(SparseSet, SwapEraseKeepsOthers) {
+  SparseSet s(10);
+  for (std::uint32_t v : {1u, 3u, 5u, 7u}) s.Insert(v);
+  s.Erase(3);
+  EXPECT_TRUE(s.Contains(1));
+  EXPECT_TRUE(s.Contains(5));
+  EXPECT_TRUE(s.Contains(7));
+  EXPECT_FALSE(s.Contains(3));
+  EXPECT_EQ(s.size(), 3u);
+}
+
+TEST(SparseSet, ClearIsCheapAndComplete) {
+  SparseSet s(100);
+  for (std::uint32_t v = 0; v < 100; ++v) s.Insert(v);
+  s.Clear();
+  EXPECT_TRUE(s.empty());
+  for (std::uint32_t v = 0; v < 100; ++v) EXPECT_FALSE(s.Contains(v));
+  // Reusable after clear.
+  EXPECT_TRUE(s.Insert(42));
+  EXPECT_TRUE(s.Contains(42));
+}
+
+TEST(SparseSet, StaleSparseEntriesDoNotFalsePositive) {
+  SparseSet s(10);
+  s.Insert(5);
+  s.Erase(5);
+  s.Insert(2);  // occupies dense slot 0, which 5's sparse entry points to
+  EXPECT_FALSE(s.Contains(5));
+}
+
+// ---------------------------------------------------------------- prefix sum
+
+TEST(PrefixSum, ExclusiveScanBasic) {
+  std::vector<std::uint64_t> in = {3, 1, 4, 1, 5};
+  std::vector<std::uint64_t> out;
+  const std::uint64_t total = ParallelPrefixSum(in, &out);
+  EXPECT_EQ(total, 14u);
+  EXPECT_EQ(out, (std::vector<std::uint64_t>{0, 3, 4, 8, 9}));
+}
+
+TEST(PrefixSum, EmptyInput) {
+  std::vector<std::uint64_t> in, out;
+  EXPECT_EQ(ParallelPrefixSum(in, &out), 0u);
+  EXPECT_TRUE(out.empty());
+}
+
+TEST(PrefixSum, InPlaceAliasing) {
+  std::vector<std::uint64_t> v = {2, 2, 2, 2};
+  EXPECT_EQ(ParallelPrefixSum(v, &v), 8u);
+  EXPECT_EQ(v, (std::vector<std::uint64_t>{0, 2, 4, 6}));
+}
+
+TEST(PrefixSum, LargeRandomMatchesSequential) {
+  Rng rng(5);
+  std::vector<std::uint64_t> in(10000);
+  for (auto& x : in) x = rng.Below(100);
+  std::vector<std::uint64_t> expected(in.size());
+  std::uint64_t run = 0;
+  for (std::size_t i = 0; i < in.size(); ++i) {
+    expected[i] = run;
+    run += in[i];
+  }
+  std::vector<std::uint64_t> out;
+  EXPECT_EQ(ParallelPrefixSum(in, &out), run);
+  EXPECT_EQ(out, expected);
+}
+
+// ---------------------------------------------------------------- cli
+
+TEST(Cli, ParsesFlagsAndPositionals) {
+  const char* argv[] = {"prog", "--k", "8", "--name=orkut", "file.el",
+                        "--verbose"};
+  ArgParser args(6, const_cast<char**>(argv));
+  EXPECT_EQ(args.GetInt("k", 0), 8);
+  EXPECT_EQ(args.GetString("name", ""), "orkut");
+  EXPECT_TRUE(args.GetBool("verbose", false));
+  ASSERT_EQ(args.positional().size(), 1u);
+  EXPECT_EQ(args.positional()[0], "file.el");
+}
+
+TEST(Cli, DefaultsWhenAbsent) {
+  const char* argv[] = {"prog"};
+  ArgParser args(1, const_cast<char**>(argv));
+  EXPECT_EQ(args.GetInt("k", 42), 42);
+  EXPECT_EQ(args.GetDouble("eps", -0.5), -0.5);
+  EXPECT_FALSE(args.Has("k"));
+}
+
+TEST(Cli, IntList) {
+  const char* argv[] = {"prog", "--ks", "4,6,8"};
+  ArgParser args(3, const_cast<char**>(argv));
+  EXPECT_EQ(args.GetIntList("ks", {}),
+            (std::vector<std::int64_t>{4, 6, 8}));
+}
+
+TEST(Cli, MalformedValuesThrow) {
+  const char* argv[] = {"prog", "--k", "abc"};
+  ArgParser args(3, const_cast<char**>(argv));
+  EXPECT_THROW(args.GetInt("k", 0), std::exception);
+}
+
+TEST(Cli, NegativeNumberAsValue) {
+  const char* argv[] = {"prog", "--eps", "-0.5"};
+  ArgParser args(3, const_cast<char**>(argv));
+  EXPECT_DOUBLE_EQ(args.GetDouble("eps", 0), -0.5);
+}
+
+// ---------------------------------------------------------------- stats
+
+TEST(Stats, MeanAndStdDev) {
+  EXPECT_DOUBLE_EQ(Mean({1, 2, 3, 4}), 2.5);
+  EXPECT_DOUBLE_EQ(Mean({}), 0);
+  EXPECT_NEAR(StdDev({2, 4, 4, 4, 5, 5, 7, 9}), 2.0, 1e-12);
+}
+
+TEST(Stats, GeoMean) {
+  EXPECT_NEAR(GeoMean({1, 8}), 2.828427, 1e-5);
+  EXPECT_DOUBLE_EQ(GeoMean({5}), 5);
+}
+
+TEST(Stats, CoeffOfVariation) {
+  EXPECT_DOUBLE_EQ(CoeffOfVariation({3, 3, 3}), 0);
+  EXPECT_GT(CoeffOfVariation({1, 10}), 0.5);
+}
+
+// ---------------------------------------------------------------- table
+
+TEST(Table, HumanBytes) {
+  EXPECT_EQ(HumanBytes(512), "512.00 B");
+  EXPECT_EQ(HumanBytes(2048), "2.00 KiB");
+  EXPECT_EQ(HumanBytes(std::uint64_t{3} << 20), "3.00 MiB");
+}
+
+TEST(Table, CellFormatting) {
+  EXPECT_EQ(TablePrinter::Cell(1.23456, 2), "1.23");
+  EXPECT_EQ(TablePrinter::Cell(std::int64_t{-5}), "-5");
+}
+
+}  // namespace
+}  // namespace pivotscale
