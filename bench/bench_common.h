@@ -5,6 +5,7 @@
 //   --scale S        dataset scale factor (default 1.0; see datasets.h)
 //   --datasets a,b   comma-separated subset of suite names
 //   --k K            target clique size where applicable
+//   --telemetry-json P  write run telemetry as one JSON document to P
 // All binaries run with no arguments in bounded time.
 #ifndef PIVOTSCALE_BENCH_BENCH_COMMON_H_
 #define PIVOTSCALE_BENCH_BENCH_COMMON_H_
@@ -23,6 +24,7 @@
 #include "pivot/count.h"
 #include "sim/scaling_sim.h"
 #include "util/cli.h"
+#include "util/telemetry.h"
 #include "util/timer.h"
 #include "util/uint128.h"
 
@@ -107,11 +109,15 @@ inline constexpr double kOrderingBarrierSeconds = 5e-6;
 // count; fills both the measured and the modeled-64 components. The
 // ordering model: the exact core peel stays sequential; every other
 // ordering's parallel passes divide by 64 plus one barrier per round.
+// When `telemetry` is non-null, per-stage spans are recorded under the
+// run's label ("<label>.ordering" / "<label>.counting") and op counters
+// accumulate across runs, so a whole sweep lands in one run report.
 inline OrderingRun EvaluateOrdering(const Graph& g, const NamedSpec& named,
-                                    std::uint32_t k) {
+                                    std::uint32_t k,
+                                    TelemetryRegistry* telemetry = nullptr) {
   OrderingRun run;
   Timer order_timer;
-  run.ordering = ComputeOrdering(g, named.spec);
+  run.ordering = ComputeOrdering(g, named.spec, telemetry);
   run.order_seconds = order_timer.Seconds();
 
   switch (named.spec.kind) {
@@ -140,15 +146,23 @@ inline OrderingRun EvaluateOrdering(const Graph& g, const NamedSpec& named,
                      : run.order_seconds / 64 +
                            run.rounds * kOrderingBarrierSeconds;
 
-  const Graph dag = Directionalize(g, run.ordering.ranks);
+  const Graph dag = Directionalize(g, run.ordering.ranks, telemetry);
   run.max_out_degree = MaxOutDegree(dag);
   CountOptions options;
   options.k = k;
   options.collect_work_trace = true;
   options.num_threads = 1;
+  options.telemetry = telemetry;
   Timer count_timer;
   const CountResult result = CountCliques(dag, options);
   run.count_seconds = count_timer.Seconds();
+
+  if (telemetry != nullptr) {
+    telemetry->RecordSpan(named.label + ".ordering", run.order_seconds);
+    telemetry->RecordSpan(named.label + ".counting", run.count_seconds);
+    telemetry->SetGauge(named.label + ".max_out_degree",
+                        static_cast<double>(run.max_out_degree));
+  }
 
   ScalingSimConfig sim;
   sim.num_threads = 64;
@@ -156,6 +170,18 @@ inline OrderingRun EvaluateOrdering(const Graph& g, const NamedSpec& named,
   run.count_seconds64 =
       SimulateScaling(result.work_trace, sim).makespan_seconds;
   return run;
+}
+
+// Writes the registry as a run-report JSON document when the binary was
+// invoked with --telemetry-json=<path>, so every bench emits
+// machine-readable telemetry alongside its table. Returns true if written.
+inline bool EmitTelemetryIfRequested(const ArgParser& args,
+                                     const TelemetryRegistry& registry) {
+  if (!args.Has("telemetry-json")) return false;
+  const std::string path = args.GetString("telemetry-json", "");
+  WriteRunReport(path, registry);
+  std::cout << "telemetry written to " << path << "\n";
+  return true;
 }
 
 // Formats a count or a time cell, using the paper's ">budget" marker style.

@@ -29,11 +29,15 @@ int main(int argc, char** argv) {
                          std::to_string(k) + ", higher is better)",
                      header);
 
+  TelemetryRegistry telemetry;
+  TelemetryRegistry* telemetry_ptr =
+      args.Has("telemetry-json") ? &telemetry : nullptr;
   for (const Dataset& d : suite) {
     std::vector<std::string> row = {d.name};
     std::vector<bench::OrderingRun> runs;
     for (const auto& named : sweep)
-      runs.push_back(bench::EvaluateOrdering(d.graph, named, k));
+      runs.push_back(
+          bench::EvaluateOrdering(d.graph, named, k, telemetry_ptr));
     const double core_1 = runs[0].count_seconds;
     const double core_64 = runs[0].count_seconds64;
     for (const auto& run : runs)
@@ -47,5 +51,6 @@ int main(int argc, char** argv) {
     table.AddRow(std::move(row));
   }
   table.Print();
+  bench::EmitTelemetryIfRequested(args, telemetry);
   return 0;
 }

@@ -31,6 +31,9 @@ int main(int argc, char** argv) {
   const auto thread_counts = args.GetIntList("threads", {1, 2, 4, 8, 16, 32, 64});
   const auto cache_mb = args.GetInt("cache-mb", 12);
 
+  TelemetryRegistry telemetry;
+  TelemetryRegistry* telemetry_ptr =
+      args.Has("telemetry-json") ? &telemetry : nullptr;
   for (const Dataset& d : suite) {
     const Graph dag = Directionalize(d.graph, CoreOrdering(d.graph).ranks);
     for (std::int64_t k64 : ks) {
@@ -52,6 +55,7 @@ int main(int argc, char** argv) {
         options.structure = kind;
         options.collect_work_trace = true;
         options.num_threads = 1;
+        options.telemetry = telemetry_ptr;
         const CountResult result = CountCliques(dag, options);
 
         ScalingSimConfig config;
@@ -81,5 +85,6 @@ int main(int argc, char** argv) {
       std::cout << RenderChart(xs, chart_series, chart_options) << "\n";
     }
   }
+  bench::EmitTelemetryIfRequested(args, telemetry);
   return 0;
 }

@@ -6,8 +6,12 @@
 //                  [--ordering heuristic|core|approx|kcore|centrality|degree]
 //                  [--eps -0.5] [--structure remap|sparse|dense]
 //                  [--threads N] [--stats] [--save-binary out.psg]
+//                  [--telemetry-json out.json]
 //
-// Without --graph a demo graph is generated (so the binary runs bare).
+// --telemetry-json writes the full run telemetry (per-phase spans,
+// per-thread busy times, op counters) as one JSON document and prints the
+// ASCII load-imbalance summary. Without --graph a demo graph is generated
+// (so the binary runs bare).
 #include <iostream>
 #include <stdexcept>
 
@@ -15,6 +19,7 @@
 #include "util/cli.h"
 #include "util/mem.h"
 #include "util/table.h"
+#include "util/telemetry.h"
 
 using namespace pivotscale;
 
@@ -82,6 +87,11 @@ int main(int argc, char** argv) {
       options.forced_ordering =
           ParseOrdering(ordering, args.GetDouble("eps", -0.5));
 
+    const std::string telemetry_path =
+        args.GetString("telemetry-json", "");
+    TelemetryRegistry telemetry;
+    if (!telemetry_path.empty()) options.telemetry = &telemetry;
+
     const PivotScaleResult result = CountKCliques(g, options);
 
     std::cout << "\nordering: " << result.ordering_name
@@ -120,6 +130,12 @@ int main(int argc, char** argv) {
         result.directionalize_seconds, result.counting_seconds,
         result.total_seconds);
     std::cout << "peak RSS: " << HumanBytes(PeakRssBytes()) << "\n";
+    if (!telemetry_path.empty()) {
+      WriteRunReport(telemetry_path, telemetry);
+      std::cout << "telemetry written to " << telemetry_path << "\n";
+      const std::string imbalance = LoadImbalanceSummary(telemetry);
+      if (!imbalance.empty()) std::cout << imbalance;
+    }
     return 0;
   } catch (const std::exception& e) {
     std::cerr << "error: " << e.what() << "\n";

@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "util/prefix_sum.h"
+#include "util/telemetry.h"
 
 namespace pivotscale {
 
@@ -18,7 +19,8 @@ bool IsPermutation(std::span<const NodeId> ranks) {
   return true;
 }
 
-Graph Directionalize(const Graph& g, std::span<const NodeId> ranks) {
+Graph Directionalize(const Graph& g, std::span<const NodeId> ranks,
+                     TelemetryRegistry* telemetry) {
   const NodeId n = g.NumNodes();
   if (ranks.size() != n)
     throw std::invalid_argument("Directionalize: ranks size mismatch");
@@ -39,15 +41,26 @@ Graph Directionalize(const Graph& g, std::span<const NodeId> ranks) {
   offsets.push_back(total);
 
   std::vector<NodeId> neighbors(total);
-#pragma omp parallel for schedule(dynamic, 1024)
+  std::uint64_t edge_flips = 0;
+#pragma omp parallel for schedule(dynamic, 1024) reduction(+ : edge_flips)
   for (NodeId u = 0; u < n; ++u) {
     EdgeId pos = offsets[u];
     for (NodeId v : g.Neighbors(u))
-      if (ranks[u] < ranks[v]) neighbors[pos++] = v;
+      if (ranks[u] < ranks[v]) {
+        neighbors[pos++] = v;
+        if (u > v) ++edge_flips;
+      }
   }
 
-  return Graph(std::move(offsets), std::move(neighbors),
-               /*undirected=*/false);
+  Graph dag(std::move(offsets), std::move(neighbors),
+            /*undirected=*/false);
+  if (telemetry != nullptr) {
+    telemetry->SetGauge("directionalize.max_out_degree",
+                        static_cast<double>(dag.MaxDegree()));
+    telemetry->SetGauge("directionalize.edges", static_cast<double>(total));
+    telemetry->AddCounter("directionalize.edge_flips", edge_flips);
+  }
+  return dag;
 }
 
 EdgeId MaxOutDegree(const Graph& dag) { return dag.MaxDegree(); }

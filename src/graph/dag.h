@@ -14,10 +14,17 @@
 
 namespace pivotscale {
 
+class TelemetryRegistry;
+
 // Builds the DAG induced by `ranks` over the undirected graph `g`.
 // `ranks` must be a permutation of [0, n) (checked); the result stores each
-// undirected edge exactly once. Parallelized over vertices.
-Graph Directionalize(const Graph& g, std::span<const NodeId> ranks);
+// undirected edge exactly once. Parallelized over vertices. When
+// `telemetry` is non-null, records the "directionalize.max_out_degree" and
+// "directionalize.edges" gauges plus the "directionalize.edge_flips"
+// counter (edges whose kept direction u -> v runs against the vertex-id
+// order, i.e. u > v — how far the ordering departs from the identity).
+Graph Directionalize(const Graph& g, std::span<const NodeId> ranks,
+                     TelemetryRegistry* telemetry = nullptr);
 
 // Largest out-degree of a directionalized graph — the ordering-quality
 // metric used throughout the evaluation.

@@ -3,6 +3,7 @@
 #include <cstdio>
 #include <cstring>
 #include <fstream>
+#include <limits>
 #include <sstream>
 #include <stdexcept>
 
@@ -28,6 +29,12 @@ EdgeList ReadEdgeList(const std::string& path) {
     if (!(ls >> u >> v))
       throw std::runtime_error(path + ":" + std::to_string(line_no) +
                                ": malformed edge line");
+    constexpr std::uint64_t kMaxId = std::numeric_limits<NodeId>::max();
+    if (u > kMaxId || v > kMaxId)
+      throw std::runtime_error(
+          path + ":" + std::to_string(line_no) + ": vertex id " +
+          std::to_string(u > kMaxId ? u : v) + " exceeds the " +
+          std::to_string(kMaxId) + " NodeId limit");
     edges.emplace_back(static_cast<NodeId>(u), static_cast<NodeId>(v));
   }
   return edges;
@@ -71,6 +78,23 @@ Graph ReadBinaryGraph(const std::string& path) {
   in.read(reinterpret_cast<char*>(&num_nodes), sizeof(num_nodes));
   in.read(reinterpret_cast<char*>(&num_entries), sizeof(num_entries));
   if (!in) throw std::runtime_error(path + ": truncated header");
+  // Header sanity before allocating: a corrupt/crafted file must error
+  // cleanly, not reserve petabytes or index out of bounds downstream.
+  if (num_nodes > std::numeric_limits<NodeId>::max())
+    throw std::runtime_error(path + ": header num_nodes " +
+                             std::to_string(num_nodes) +
+                             " exceeds the NodeId limit");
+  const auto body_start = in.tellg();
+  in.seekg(0, std::ios::end);
+  const std::uint64_t body_bytes =
+      static_cast<std::uint64_t>(in.tellg() - body_start);
+  in.seekg(body_start);
+  const std::uint64_t expected_bytes =
+      (num_nodes + 1) * sizeof(EdgeId) + num_entries * sizeof(NodeId);
+  if (body_bytes != expected_bytes)
+    throw std::runtime_error(
+        path + ": header promises " + std::to_string(expected_bytes) +
+        " body bytes but the file holds " + std::to_string(body_bytes));
   std::vector<EdgeId> offsets(num_nodes + 1);
   std::vector<NodeId> neighbors(num_entries);
   in.read(reinterpret_cast<char*>(offsets.data()),
@@ -78,6 +102,24 @@ Graph ReadBinaryGraph(const std::string& path) {
   in.read(reinterpret_cast<char*>(neighbors.data()),
           static_cast<std::streamsize>(neighbors.size() * sizeof(NodeId)));
   if (!in) throw std::runtime_error(path + ": truncated body");
+  // CSR invariants the whole pipeline assumes: monotone offsets that cover
+  // exactly the neighbor array, and every neighbor id in range.
+  for (std::uint64_t u = 0; u < num_nodes; ++u)
+    if (offsets[u] > offsets[u + 1])
+      throw std::runtime_error(path + ": corrupt offsets (decreasing at " +
+                               std::to_string(u) + ")");
+  if (offsets[0] != 0 || offsets[num_nodes] != num_entries)
+    throw std::runtime_error(
+        path + ": corrupt offsets (span [" + std::to_string(offsets[0]) +
+        ", " + std::to_string(offsets[num_nodes]) +
+        "] does not cover the " + std::to_string(num_entries) +
+        " neighbor entries)");
+  for (std::uint64_t e = 0; e < num_entries; ++e)
+    if (neighbors[e] >= num_nodes)
+      throw std::runtime_error(path + ": neighbor id " +
+                               std::to_string(neighbors[e]) + " at entry " +
+                               std::to_string(e) + " is out of range (" +
+                               std::to_string(num_nodes) + " nodes)");
   return Graph(std::move(offsets), std::move(neighbors), undirected != 0);
 }
 

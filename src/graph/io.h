@@ -16,7 +16,8 @@
 namespace pivotscale {
 
 // Reads a text edge list; lines starting with '#' or '%' are comments.
-// Throws std::runtime_error on unreadable files or malformed lines.
+// Throws std::runtime_error (with the line number) on unreadable files,
+// malformed lines, or vertex ids that exceed the NodeId range.
 EdgeList ReadEdgeList(const std::string& path);
 
 // Writes one "u v" line per edge.
@@ -26,6 +27,11 @@ void WriteEdgeList(const std::string& path, const EdgeList& edges);
 //   magic "PSG1" | u8 undirected | u64 num_nodes | u64 num_entries |
 //   offsets[] (u64) | neighbors[] (u32)
 void WriteBinaryGraph(const std::string& path, const Graph& g);
+
+// Reads a .psg file, validating the header and the CSR invariants
+// (monotone offsets spanning exactly num_entries, all neighbor ids in
+// range) so a corrupt or crafted file throws std::runtime_error instead of
+// reading out of bounds downstream.
 Graph ReadBinaryGraph(const std::string& path);
 
 // Loads a graph from a path, dispatching on extension: ".psg" -> binary,

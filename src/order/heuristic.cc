@@ -4,6 +4,7 @@
 
 #include <algorithm>
 
+#include "util/telemetry.h"
 #include "util/timer.h"
 
 namespace pivotscale {
@@ -30,10 +31,32 @@ EdgeId CountCommonNeighbors(const Graph& g, NodeId u, NodeId v) {
   return common;
 }
 
+// Reduction state for the parallel degree argmax: highest degree wins,
+// lowest id breaks ties. `valid` distinguishes the identity element so the
+// reduction is well-defined on any vertex subset.
+struct DegreeArgMax {
+  EdgeId degree = 0;
+  NodeId id = 0;
+  bool valid = false;
+};
+
+DegreeArgMax CombineArgMax(const DegreeArgMax& a, const DegreeArgMax& b) {
+  if (!a.valid) return b;
+  if (!b.valid) return a;
+  if (b.degree > a.degree || (b.degree == a.degree && b.id < a.id)) return b;
+  return a;
+}
+
+#pragma omp declare reduction(                                       \
+        degree_argmax : DegreeArgMax : omp_out =                     \
+            CombineArgMax(omp_out, omp_in))                          \
+    initializer(omp_priv = DegreeArgMax{})
+
 }  // namespace
 
 HeuristicDecision SelectOrdering(const Graph& g,
-                                 const HeuristicConfig& config) {
+                                 const HeuristicConfig& config,
+                                 TelemetryRegistry* telemetry) {
   Timer timer;
   HeuristicDecision d;
   const NodeId n = g.NumNodes();
@@ -43,22 +66,17 @@ HeuristicDecision SelectOrdering(const Graph& g,
   }
 
   // Probe 1: the highest-degree vertex (parallel max with id tiebreak).
-  NodeId best = 0;
-  EdgeId best_degree = g.Degree(0);
-  for (NodeId u = 1; u < n; ++u) {
-    const EdgeId deg = g.Degree(u);
-    if (deg > best_degree) {
-      best = u;
-      best_degree = deg;
-    }
-  }
-  d.max_degree_vertex = best;
-  d.max_degree = best_degree;
+  DegreeArgMax best;
+#pragma omp parallel for schedule(static) reduction(degree_argmax : best)
+  for (NodeId u = 0; u < n; ++u)
+    best = CombineArgMax(best, {g.Degree(u), u, true});
+  d.max_degree_vertex = best.id;
+  d.max_degree = best.degree;
 
   // Probe 2: its highest-degree neighbor (the paper's `a`).
-  NodeId best_neighbor = best;
+  NodeId best_neighbor = best.id;
   EdgeId a = 0;
-  for (NodeId v : g.Neighbors(best)) {
+  for (NodeId v : g.Neighbors(best.id)) {
     const EdgeId deg = g.Degree(v);
     if (deg > a) {
       a = deg;
@@ -70,10 +88,10 @@ HeuristicDecision SelectOrdering(const Graph& g,
 
   // Probe 3: common-neighbor fraction between the pair, normalized by the
   // smaller neighborhood so a fully nested neighborhood scores 1.0.
-  if (best_neighbor != best) {
-    const EdgeId common = CountCommonNeighbors(g, best, best_neighbor);
+  if (best_neighbor != best.id) {
+    const EdgeId common = CountCommonNeighbors(g, best.id, best_neighbor);
     const EdgeId denom =
-        std::min(g.Degree(best), g.Degree(best_neighbor));
+        std::min(g.Degree(best.id), g.Degree(best_neighbor));
     d.common_fraction =
         denom == 0 ? 0 : static_cast<double>(common) /
                              static_cast<double>(denom);
@@ -84,6 +102,16 @@ HeuristicDecision SelectOrdering(const Graph& g,
       (d.a_ratio >= config.a_ratio_threshold ||
        d.common_fraction > config.common_fraction_threshold);
   d.seconds = timer.Seconds();
+
+  if (telemetry != nullptr) {
+    telemetry->SetGauge("heuristic.max_degree",
+                        static_cast<double>(d.max_degree));
+    telemetry->SetGauge("heuristic.a", static_cast<double>(d.a));
+    telemetry->SetGauge("heuristic.a_ratio", d.a_ratio);
+    telemetry->SetGauge("heuristic.common_fraction", d.common_fraction);
+    telemetry->SetGauge("heuristic.use_core_approx",
+                        d.use_core_approx ? 1 : 0);
+  }
   return d;
 }
 

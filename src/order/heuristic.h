@@ -16,6 +16,8 @@
 
 namespace pivotscale {
 
+class TelemetryRegistry;
+
 struct HeuristicConfig {
   // Minimum |V| for the core approximation to be worthwhile; below this the
   // ordering phase dominates total time and degree wins (paper: 1M on the
@@ -38,9 +40,12 @@ struct HeuristicDecision {
 };
 
 // Computes the probes and applies the selection rule. O(|N(u*)| + d_max)
-// plus one sorted intersection.
+// plus one sorted intersection (the degree max is a parallel reduction).
+// When `telemetry` is non-null the probe values and the decision are
+// recorded as "heuristic.*" gauges.
 HeuristicDecision SelectOrdering(const Graph& g,
-                                 const HeuristicConfig& config = {});
+                                 const HeuristicConfig& config = {},
+                                 TelemetryRegistry* telemetry = nullptr);
 
 }  // namespace pivotscale
 

@@ -70,9 +70,9 @@ std::vector<EdgeId> CoreDecomposition(const Graph& g, int* rounds_out) {
   return coreness;
 }
 
-Ordering KCoreOrdering(const Graph& g) {
+Ordering KCoreOrdering(const Graph& g, int* rounds_out) {
   const NodeId n = g.NumNodes();
-  const std::vector<EdgeId> coreness = CoreDecomposition(g);
+  const std::vector<EdgeId> coreness = CoreDecomposition(g, rounds_out);
   std::vector<std::uint64_t> keys(n);
 #pragma omp parallel for schedule(static)
   for (NodeId u = 0; u < n; ++u)

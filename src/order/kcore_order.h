@@ -24,7 +24,9 @@ namespace pivotscale {
 std::vector<EdgeId> CoreDecomposition(const Graph& g,
                                       int* rounds_out = nullptr);
 
-Ordering KCoreOrdering(const Graph& g);
+// Ranks by (coreness, original degree, id). If `rounds_out` is non-null it
+// receives the decomposition's synchronized sub-round count.
+Ordering KCoreOrdering(const Graph& g, int* rounds_out = nullptr);
 
 }  // namespace pivotscale
 

@@ -9,6 +9,7 @@
 #include "order/core_order.h"
 #include "order/degree_order.h"
 #include "order/kcore_order.h"
+#include "util/telemetry.h"
 
 namespace pivotscale {
 
@@ -36,17 +37,32 @@ std::uint64_t PackKey(std::uint64_t primary, std::uint64_t degree) {
   return (p << kDegreeBits) | d;
 }
 
-Ordering ComputeOrdering(const Graph& g, const OrderingSpec& spec) {
+Ordering ComputeOrdering(const Graph& g, const OrderingSpec& spec,
+                         TelemetryRegistry* telemetry) {
+  const auto record_rounds = [telemetry](int rounds) {
+    if (telemetry != nullptr)
+      telemetry->SetGauge("ordering.rounds", rounds);
+  };
   switch (spec.kind) {
     case OrderingKind::kDegree:
+      record_rounds(1);
       return DegreeOrdering(g);
     case OrderingKind::kCore:
+      record_rounds(-1);  // inherently serial peel
       return CoreOrdering(g);
-    case OrderingKind::kApproxCore:
-      return ApproxCoreOrdering(g, spec.epsilon);
-    case OrderingKind::kKCore:
-      return KCoreOrdering(g);
+    case OrderingKind::kApproxCore: {
+      ApproxCoreResult result = ApproxCoreOrderingWithStats(g, spec.epsilon);
+      record_rounds(result.rounds);
+      return std::move(result.ordering);
+    }
+    case OrderingKind::kKCore: {
+      int rounds = 0;
+      Ordering ordering = KCoreOrdering(g, &rounds);
+      record_rounds(rounds);
+      return ordering;
+    }
     case OrderingKind::kCentrality:
+      record_rounds(spec.iterations);
       return CentralityOrdering(g, spec.iterations);
   }
   throw std::invalid_argument("ComputeOrdering: unknown kind");

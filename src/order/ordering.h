@@ -16,6 +16,8 @@
 
 namespace pivotscale {
 
+class TelemetryRegistry;
+
 // A computed total order over the vertices of one graph.
 struct Ordering {
   std::string name;            // e.g. "core", "approx-core(eps=-0.5)"
@@ -49,8 +51,12 @@ struct OrderingSpec {
 };
 
 // Dispatches to the matching implementation. Convenient for benches that
-// sweep ordering families.
-Ordering ComputeOrdering(const Graph& g, const OrderingSpec& spec);
+// sweep ordering families. When `telemetry` is non-null, records the
+// "ordering.rounds" gauge (synchronized peel rounds for the round-based
+// orderings, iterations for centrality, 1 for degree, -1 for the
+// inherently serial exact core peel).
+Ordering ComputeOrdering(const Graph& g, const OrderingSpec& spec,
+                         TelemetryRegistry* telemetry = nullptr);
 
 // Human-readable name for a spec (matches Ordering::name).
 std::string OrderingSpecName(const OrderingSpec& spec);

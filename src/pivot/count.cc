@@ -7,6 +7,8 @@
 #include "pivot/subgraph_dense.h"
 #include "pivot/subgraph_remap.h"
 #include "pivot/subgraph_sparse.h"
+#include "util/stats.h"
+#include "util/telemetry.h"
 #include "util/timer.h"
 
 namespace pivotscale {
@@ -25,6 +27,44 @@ std::string SubgraphKindName(SubgraphKind kind) {
 
 namespace {
 
+// Dynamic-schedule chunk sizes, shared between the pragmas and the chunk
+// accounting (a chunk starts exactly at loop indices divisible by the
+// chunk size, since both loops start at 0).
+constexpr NodeId kRootChunk = 16;
+constexpr NodeId kEdgeOwnerChunk = 64;
+
+// Dumps one finished driver run into the registry: per-thread series, op
+// totals, and load-balance gauges. `items` is the number of top-level work
+// items under `item_counter` ("count.roots" / "count.edge_owners").
+void RecordCountTelemetry(TelemetryRegistry* telemetry,
+                          const CountResult& result,
+                          const std::vector<std::uint64_t>& thread_chunks,
+                          std::uint64_t items, const char* item_counter) {
+  if (telemetry == nullptr) return;
+  telemetry->SetSeries("count.thread_busy_seconds",
+                       result.thread_busy_seconds);
+  std::vector<double> chunk_series(thread_chunks.size());
+  std::uint64_t total_chunks = 0;
+  for (std::size_t t = 0; t < thread_chunks.size(); ++t) {
+    chunk_series[t] = static_cast<double>(thread_chunks[t]);
+    total_chunks += thread_chunks[t];
+  }
+  telemetry->SetSeries("count.thread_chunks", std::move(chunk_series));
+  telemetry->AddCounter("count.chunks", total_chunks);
+  telemetry->AddCounter(item_counter, items);
+  telemetry->AddCounter("count.recursion_calls", result.ops.calls);
+  telemetry->AddCounter("count.edge_ops", result.ops.edge_ops);
+  telemetry->AddCounter("count.induces", result.ops.induces);
+  telemetry->AddCounter("count.memberships", result.ops.memberships);
+  telemetry->SetGauge("count.threads",
+                      static_cast<double>(result.thread_busy_seconds.size()));
+  telemetry->SetGauge("count.workspace_bytes",
+                      static_cast<double>(result.workspace_bytes));
+  telemetry->SetGauge("count.busy_cov",
+                      CoeffOfVariation(result.thread_busy_seconds));
+  telemetry->RecordSpan("count.wall", result.seconds);
+}
+
 // The driver body, instantiated per (structure, stats policy) pair.
 template <typename SG, typename Stats>
 CountResult Run(const Graph& dag, const CountOptions& options) {
@@ -41,7 +81,10 @@ CountResult Run(const Graph& dag, const CountOptions& options) {
   result.per_size.assign(bound + 2, BigCount{});
   if (options.per_vertex) result.per_vertex.assign(n, BigCount{});
   if (options.collect_work_trace) result.work_trace.roots.resize(n);
-  result.thread_busy_seconds.assign(requested_threads, 0.0);
+  // Per-thread slots are sized inside the region: OpenMP may deliver fewer
+  // threads than requested, and phantom zero entries would dilute the
+  // imbalance stats.
+  std::vector<std::uint64_t> thread_chunks;
 
   Timer total_timer;
 #pragma omp parallel num_threads(requested_threads)
@@ -50,10 +93,19 @@ CountResult Run(const Graph& dag, const CountOptions& options) {
     PivotCounter<SG, Stats> counter(dag, options.mode, options.k,
                                     options.per_vertex, bound, &binom,
                                     options.early_termination);
+#pragma omp single
+    {
+      const int team = omp_get_num_threads();
+      result.thread_busy_seconds.assign(team, 0.0);
+      thread_chunks.assign(team, 0);
+    }
+    // (single's implicit barrier: every thread sees the sized arrays)
+    std::uint64_t chunks = 0;
     Timer busy_timer;
 
-#pragma omp for schedule(dynamic, 16) nowait
+#pragma omp for schedule(dynamic, kRootChunk) nowait
     for (NodeId v = 0; v < n; ++v) {
+      if (v % kRootChunk == 0) ++chunks;
       if (options.collect_work_trace) {
         const std::uint64_t ops_before = counter.stats().Snapshot().edge_ops;
         Timer root_timer;
@@ -67,6 +119,7 @@ CountResult Run(const Graph& dag, const CountOptions& options) {
       }
     }
     result.thread_busy_seconds[tid] = busy_timer.Seconds();
+    thread_chunks[tid] = chunks;
 
     // Reduce per-thread counters. Each reduction target is guarded; the
     // critical sections are tiny next to the counting work.
@@ -93,12 +146,16 @@ CountResult Run(const Graph& dag, const CountOptions& options) {
                        ? result.per_size[options.k]
                        : BigCount{};
   }
+  RecordCountTelemetry(options.telemetry, result, thread_chunks, n,
+                       "count.roots");
   return result;
 }
 
 template <typename SG>
 CountResult Dispatch(const Graph& dag, const CountOptions& options) {
-  if (options.collect_op_stats || options.collect_work_trace)
+  // Telemetry wants the op totals, so it rides the counting stats policy.
+  if (options.collect_op_stats || options.collect_work_trace ||
+      options.telemetry != nullptr)
     return Run<SG, OpCountStats>(dag, options);
   return Run<SG, NoStats>(dag, options);
 }
@@ -129,7 +186,7 @@ CountResult CountCliquesEdgeParallel(const Graph& dag,
   CountResult result;
   result.per_size.assign(bound + 2, BigCount{});
   if (options.per_vertex) result.per_vertex.assign(n, BigCount{});
-  result.thread_busy_seconds.assign(threads, 0.0);
+  std::vector<std::uint64_t> thread_chunks;
 
   // Instantiated for both stats policies so collect_op_stats is honored.
   auto run_edges = [&]<typename Stats>(Stats /*tag*/) {
@@ -140,11 +197,21 @@ CountResult CountCliquesEdgeParallel(const Graph& dag,
       PivotCounter<RemapSubgraph, Stats> counter(
           dag, options.mode, options.k, options.per_vertex, bound, &binom,
           options.early_termination);
+#pragma omp single
+      {
+        const int team = omp_get_num_threads();
+        result.thread_busy_seconds.assign(team, 0.0);
+        thread_chunks.assign(team, 0);
+      }
+      std::uint64_t chunks = 0;
       Timer busy_timer;
-#pragma omp for schedule(dynamic, 64) nowait
-      for (NodeId u = 0; u < n; ++u)
+#pragma omp for schedule(dynamic, kEdgeOwnerChunk) nowait
+      for (NodeId u = 0; u < n; ++u) {
+        if (u % kEdgeOwnerChunk == 0) ++chunks;
         for (NodeId v : dag.Neighbors(u)) counter.ProcessEdge(u, v);
+      }
       result.thread_busy_seconds[tid] = busy_timer.Seconds();
+      thread_chunks[tid] = chunks;
 #pragma omp critical(edge_count_reduce)
       {
         result.total += counter.total();
@@ -163,7 +230,7 @@ CountResult CountCliquesEdgeParallel(const Graph& dag,
     }
     result.seconds = total_timer.Seconds();
   };
-  if (options.collect_op_stats)
+  if (options.collect_op_stats || options.telemetry != nullptr)
     run_edges(OpCountStats{});
   else
     run_edges(NoStats{});
@@ -180,6 +247,8 @@ CountResult CountCliquesEdgeParallel(const Graph& dag,
     if (options.per_vertex)
       for (NodeId v = 0; v < n; ++v) result.per_vertex[v] = BigCount{1};
   }
+  RecordCountTelemetry(options.telemetry, result, thread_chunks, n,
+                       "count.edge_owners");
   return result;
 }
 

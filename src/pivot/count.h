@@ -22,6 +22,8 @@
 
 namespace pivotscale {
 
+class TelemetryRegistry;
+
 // The three thread-local subgraph representations of Section IV.
 enum class SubgraphKind {
   kDense,   // |V|-sized index (original Pivoter layout)
@@ -47,6 +49,11 @@ struct CountOptions {
   bool collect_work_trace = false;
   // 0 = use the OpenMP default.
   int num_threads = 0;
+  // When non-null, the driver records "count.*" metrics into this registry:
+  // per-thread busy-second and chunk-count series, work-item and dynamic-
+  // chunk counters, recursion-op totals (implies op-stat collection), and
+  // workspace/thread-count gauges. Not owned; must outlive the call.
+  TelemetryRegistry* telemetry = nullptr;
 };
 
 struct CountResult {
@@ -66,6 +73,8 @@ struct CountResult {
   // Sum of the per-thread subgraph workspace footprints.
   std::size_t workspace_bytes = 0;
   // Per-thread busy seconds, for the load-balance CoV analysis (Section IV).
+  // Sized to the *actual* OpenMP team size (which may be smaller than the
+  // requested thread count), so imbalance stats carry no phantom zeros.
   std::vector<double> thread_busy_seconds;
 };
 

@@ -3,6 +3,7 @@
 #include <stdexcept>
 
 #include "graph/dag.h"
+#include "util/telemetry.h"
 #include "util/timer.h"
 
 namespace pivotscale {
@@ -12,6 +13,7 @@ PivotScaleResult CountKCliques(const Graph& g,
   if (!g.undirected())
     throw std::invalid_argument("CountKCliques: input must be undirected");
 
+  TelemetryRegistry* telemetry = options.telemetry;
   PivotScaleResult result;
   PhaseTimer phases;
   phases.Start();
@@ -20,30 +22,44 @@ PivotScaleResult CountKCliques(const Graph& g,
   if (options.forced_ordering.has_value()) {
     spec = *options.forced_ordering;
   } else {
-    result.decision = SelectOrdering(g, options.heuristic);
+    result.decision = SelectOrdering(g, options.heuristic, telemetry);
     spec.kind = result.decision.use_core_approx ? OrderingKind::kApproxCore
                                                 : OrderingKind::kDegree;
     spec.epsilon = options.heuristic.epsilon;
   }
   result.heuristic_seconds = phases.Stop("heuristic");
 
-  const Ordering ordering = ComputeOrdering(g, spec);
+  const Ordering ordering = ComputeOrdering(g, spec, telemetry);
   result.ordering_name = ordering.name;
   result.ordering_seconds = phases.Stop("ordering");
 
-  const Graph dag = Directionalize(g, ordering.ranks);
+  const Graph dag = Directionalize(g, ordering.ranks, telemetry);
   result.max_out_degree = MaxOutDegree(dag);
   result.directionalize_seconds = phases.Stop("directionalize");
 
   CountOptions count_options = options.count;
   count_options.k = options.k;
-  count_options.mode =
-      options.all_k ? CountMode::kAllK : CountMode::kSingleK;
+  // Force kAllK only when asked for; otherwise the caller's mode (e.g.
+  // kAllUpToK) flows through.
+  if (options.all_k) count_options.mode = CountMode::kAllK;
+  if (count_options.telemetry == nullptr)
+    count_options.telemetry = telemetry;
   result.count = CountCliques(dag, count_options);
   result.counting_seconds = phases.Stop("counting");
 
   result.total = result.count.total;
   result.total_seconds = phases.TotalSeconds();
+
+  if (telemetry != nullptr) {
+    telemetry->RecordSpan("heuristic", result.heuristic_seconds);
+    telemetry->RecordSpan("ordering", result.ordering_seconds);
+    telemetry->RecordSpan("directionalize", result.directionalize_seconds);
+    telemetry->RecordSpan("counting", result.counting_seconds);
+    telemetry->SetGauge("pipeline.k", options.k);
+    telemetry->SetGauge("pipeline.nodes", static_cast<double>(g.NumNodes()));
+    telemetry->SetGauge("pipeline.undirected_edges",
+                        static_cast<double>(g.NumUndirectedEdges()));
+  }
   return result;
 }
 

@@ -19,6 +19,8 @@
 
 namespace pivotscale {
 
+class TelemetryRegistry;
+
 struct PivotScaleOptions {
   std::uint32_t k = 8;
   // Heuristic thresholds (Section III-E). min_nodes defaults to the paper's
@@ -26,11 +28,17 @@ struct PivotScaleOptions {
   HeuristicConfig heuristic;
   // When set, skip the heuristic and use exactly this ordering.
   std::optional<OrderingSpec> forced_ordering;
-  // Counting-phase options; `k` and `mode` here are overridden by this
-  // struct's `k` and `all_k`.
+  // Counting-phase options. `count.k` is overridden by this struct's `k`;
+  // `count.mode` is forced to kAllK when `all_k` is set and respected
+  // otherwise (so kAllUpToK is reachable through the pipeline).
   CountOptions count;
   // Count every clique size up to the maximum instead of only k.
   bool all_k = false;
+  // When non-null, every phase records into this registry: "heuristic",
+  // "ordering", "directionalize", and "counting" spans plus each stage's
+  // probe/round/load-balance metrics (see docs/api_tour.md "Telemetry").
+  // Also forwarded to the counting driver unless count.telemetry is set.
+  TelemetryRegistry* telemetry = nullptr;
 };
 
 struct PivotScaleResult {

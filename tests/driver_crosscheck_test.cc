@@ -1,0 +1,211 @@
+// Cross-validation of the two counting drivers, plus regression tests for
+// the pipeline mode clobber and the per-thread busy-time sizing fix.
+//
+// CountCliques (vertex-parallel) and CountCliquesEdgeParallel decompose
+// the same recursion differently; comparing them on random graphs for
+// every k, structure, and per-vertex attribution keeps them from drifting.
+#include <gtest/gtest.h>
+
+#include <omp.h>
+
+#include <algorithm>
+
+#include "graph/builder.h"
+#include "graph/generators.h"
+#include "pivot/count.h"
+#include "pivot/pivotscale.h"
+#include "test_helpers.h"
+#include "util/binomial.h"
+
+namespace pivotscale {
+namespace {
+
+using testing_helpers::BruteForceCount;
+using testing_helpers::MakeDag;
+
+// ------------------------------------------------- driver cross-validation
+
+struct CrossParam {
+  NodeId n;
+  double p;
+  std::uint64_t seed;
+};
+
+class DriverCrosscheck : public ::testing::TestWithParam<CrossParam> {};
+
+TEST_P(DriverCrosscheck, EdgeParallelMatchesVertexParallelAllStructures) {
+  const auto [n, p, seed] = GetParam();
+  const Graph g = BuildGraph(ErdosRenyi(n, p, seed));
+  const Graph dag = MakeDag(g, OrderingKind::kCore);
+
+  for (std::uint32_t k = 1; k <= 6; ++k) {
+    CountOptions options;
+    options.k = k;
+    const CountResult edge = CountCliquesEdgeParallel(dag, options);
+    const std::uint64_t truth = BruteForceCount(g, k);
+    EXPECT_EQ(edge.total.value(), static_cast<uint128>(truth))
+        << "edge-parallel k=" << k;
+    for (auto kind : {SubgraphKind::kDense, SubgraphKind::kSparse,
+                      SubgraphKind::kRemap}) {
+      options.structure = kind;
+      const CountResult vertex = CountCliques(dag, options);
+      EXPECT_EQ(vertex.total, edge.total)
+          << "k=" << k << " structure=" << SubgraphKindName(kind);
+    }
+  }
+}
+
+TEST_P(DriverCrosscheck, PerVertexCountsAgree) {
+  const auto [n, p, seed] = GetParam();
+  const Graph g = BuildGraph(ErdosRenyi(n, p, seed + 1000));
+  const Graph dag = MakeDag(g, OrderingKind::kDegree);
+
+  for (std::uint32_t k = 1; k <= 6; ++k) {
+    CountOptions options;
+    options.k = k;
+    options.per_vertex = true;
+    const CountResult edge = CountCliquesEdgeParallel(dag, options);
+    ASSERT_EQ(edge.per_vertex.size(), g.NumNodes());
+    for (auto kind : {SubgraphKind::kDense, SubgraphKind::kSparse,
+                      SubgraphKind::kRemap}) {
+      options.structure = kind;
+      const CountResult vertex = CountCliques(dag, options);
+      ASSERT_EQ(vertex.per_vertex.size(), g.NumNodes());
+      for (NodeId v = 0; v < g.NumNodes(); ++v)
+        EXPECT_EQ(vertex.per_vertex[v], edge.per_vertex[v])
+            << "k=" << k << " structure=" << SubgraphKindName(kind)
+            << " v=" << v;
+    }
+  }
+}
+
+TEST_P(DriverCrosscheck, AllKPerSizeAgrees) {
+  const auto [n, p, seed] = GetParam();
+  const Graph g = BuildGraph(ErdosRenyi(n, p, seed + 2000));
+  const Graph dag = MakeDag(g, OrderingKind::kCore);
+
+  CountOptions options;
+  options.k = 4;
+  options.mode = CountMode::kAllK;
+  const CountResult edge = CountCliquesEdgeParallel(dag, options);
+  for (auto kind : {SubgraphKind::kDense, SubgraphKind::kSparse,
+                    SubgraphKind::kRemap}) {
+    options.structure = kind;
+    const CountResult vertex = CountCliques(dag, options);
+    const std::size_t sizes =
+        std::min(vertex.per_size.size(), edge.per_size.size());
+    for (std::size_t s = 1; s < sizes; ++s)
+      EXPECT_EQ(vertex.per_size[s], edge.per_size[s])
+          << "structure=" << SubgraphKindName(kind) << " size=" << s;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    RandomGnp, DriverCrosscheck,
+    ::testing::Values(CrossParam{40, 0.10, 1}, CrossParam{40, 0.25, 2},
+                      CrossParam{60, 0.15, 3}, CrossParam{80, 0.08, 4}),
+    [](const ::testing::TestParamInfo<CrossParam>& info) {
+      return "n" + std::to_string(info.param.n) + "_seed" +
+             std::to_string(info.param.seed);
+    });
+
+TEST(DriverCrosscheck, PlantedCliquesDeepK) {
+  // Clique-rich input exercises the deep pivoting branches of both
+  // decompositions.
+  EdgeList edges = GnM(70, 300, 9);
+  PlantCliques(&edges, 70, 3, 7, 9, 10);
+  const Graph g = BuildGraph(std::move(edges));
+  const Graph dag = MakeDag(g, OrderingKind::kCore);
+  for (std::uint32_t k = 2; k <= 8; ++k) {
+    CountOptions options;
+    options.k = k;
+    const CountResult vertex = CountCliques(dag, options);
+    const CountResult edge = CountCliquesEdgeParallel(dag, options);
+    EXPECT_EQ(vertex.total, edge.total) << "k=" << k;
+  }
+}
+
+// -------------------------------------------- pipeline mode (regression)
+
+TEST(PipelineMode, AllUpToKFlowsThroughPipeline) {
+  // Pre-fix CountKCliques overwrote count.mode with kSingleK whenever
+  // all_k was false, so kAllUpToK was unreachable and per_size stayed
+  // empty of results.
+  const Graph g = BuildGraph(CompleteGraph(12));
+  PivotScaleOptions options;
+  options.k = 5;
+  options.count.mode = CountMode::kAllUpToK;
+  options.forced_ordering = OrderingSpec{OrderingKind::kDegree};
+  const PivotScaleResult result = CountKCliques(g, options);
+  for (std::uint32_t s = 1; s <= 5; ++s)
+    EXPECT_EQ(result.count.per_size[s].value(), BinomialChoose(12, s))
+        << s;
+  EXPECT_EQ(result.total.value(), BinomialChoose(12, 5));
+}
+
+TEST(PipelineMode, DefaultRemainsSingleK) {
+  const Graph g = BuildGraph(CompleteGraph(10));
+  PivotScaleOptions options;
+  options.k = 3;
+  options.forced_ordering = OrderingSpec{OrderingKind::kDegree};
+  const PivotScaleResult result = CountKCliques(g, options);
+  EXPECT_EQ(result.total.value(), BinomialChoose(10, 3));
+}
+
+TEST(PipelineMode, AllKStillForcesAllK) {
+  const Graph g = BuildGraph(CompleteGraph(10));
+  PivotScaleOptions options;
+  options.k = 3;
+  options.all_k = true;
+  options.count.mode = CountMode::kSingleK;  // all_k must win
+  options.forced_ordering = OrderingSpec{OrderingKind::kDegree};
+  const PivotScaleResult result = CountKCliques(g, options);
+  for (std::uint32_t s = 1; s <= 10; ++s)
+    EXPECT_EQ(result.count.per_size[s].value(), BinomialChoose(10, s))
+        << s;
+}
+
+// --------------------------------- busy-time team sizing (regression)
+
+TEST(ThreadBusySeconds, SizedToActualTeamNotRequest) {
+  // Inside an active parallel region with nesting disabled, OpenMP
+  // delivers a team of 1 regardless of num_threads. Pre-fix the result
+  // carried 4 slots, 3 of them phantom zeros diluting imbalance stats.
+  const Graph g = BuildGraph(CompleteGraph(12));
+  const Graph dag = MakeDag(g, OrderingKind::kDegree);
+  CountOptions options;
+  options.k = 3;
+  options.num_threads = 4;
+
+  const int prev_levels = omp_get_max_active_levels();
+  omp_set_max_active_levels(1);
+  CountResult vertex, edge;
+#pragma omp parallel num_threads(2)
+  {
+#pragma omp single
+    {
+      vertex = CountCliques(dag, options);
+      edge = CountCliquesEdgeParallel(dag, options);
+    }
+  }
+  omp_set_max_active_levels(prev_levels);
+
+  EXPECT_EQ(vertex.thread_busy_seconds.size(), 1u);
+  EXPECT_EQ(edge.thread_busy_seconds.size(), 1u);
+  EXPECT_EQ(vertex.total.value(), BinomialChoose(12, 3));
+  EXPECT_EQ(edge.total.value(), BinomialChoose(12, 3));
+}
+
+TEST(ThreadBusySeconds, DeliveredTeamOutsideParallelRegion) {
+  const Graph g = BuildGraph(CompleteGraph(12));
+  const Graph dag = MakeDag(g, OrderingKind::kDegree);
+  CountOptions options;
+  options.k = 3;
+  options.num_threads = 2;
+  const CountResult result = CountCliques(dag, options);
+  EXPECT_GE(result.thread_busy_seconds.size(), 1u);
+  EXPECT_LE(result.thread_busy_seconds.size(), 2u);
+}
+
+}  // namespace
+}  // namespace pivotscale

@@ -14,6 +14,7 @@
 #include "order/heuristic.h"
 #include "order/kcore_order.h"
 #include "order/ordering.h"
+#include "util/telemetry.h"
 
 namespace pivotscale {
 namespace {
@@ -331,6 +332,51 @@ TEST(Heuristic, ProbesMatchGraph) {
 TEST(Heuristic, EmptyGraph) {
   const Graph g = BuildGraph({});
   const HeuristicDecision d = SelectOrdering(g);
+  EXPECT_FALSE(d.use_core_approx);
+}
+
+TEST(Heuristic, AllIsolatedVertices) {
+  // Nonzero node count, zero edges: every probe degenerates to zero and
+  // the parallel degree argmax must not read past the (empty) adjacency.
+  const Graph g = BuildUndirected({}, 500);
+  const HeuristicDecision d = SelectOrdering(g);
+  EXPECT_EQ(d.max_degree, 0u);
+  EXPECT_EQ(d.max_degree_vertex, 0u);  // id tiebreak on all-equal degrees
+  EXPECT_EQ(d.a, 0u);
+  EXPECT_DOUBLE_EQ(d.common_fraction, 0.0);
+  EXPECT_FALSE(d.use_core_approx);
+}
+
+TEST(Heuristic, ParallelArgMaxTiebreaksByLowestId) {
+  // Two disjoint stars of equal degree: the reduction must pick the
+  // lower-id center deterministically regardless of thread count.
+  EdgeList edges;
+  for (NodeId v = 0; v < 40; ++v) edges.emplace_back(50, 100 + v);
+  for (NodeId v = 0; v < 40; ++v) edges.emplace_back(51, 200 + v);
+  const Graph g = BuildUndirected(std::move(edges), 300);
+  for (int rep = 0; rep < 8; ++rep) {
+    const HeuristicDecision d = SelectOrdering(g);
+    EXPECT_EQ(d.max_degree_vertex, 50u);
+    EXPECT_EQ(d.max_degree, 40u);
+  }
+}
+
+TEST(Heuristic, RecordsProbeTelemetry) {
+  const Graph g = BuildGraph(StarGraph(100));
+  TelemetryRegistry telemetry;
+  const HeuristicDecision d =
+      SelectOrdering(g, HeuristicConfig{}, &telemetry);
+  EXPECT_DOUBLE_EQ(telemetry.Gauge("heuristic.max_degree"),
+                   static_cast<double>(d.max_degree));
+  EXPECT_DOUBLE_EQ(telemetry.Gauge("heuristic.a"),
+                   static_cast<double>(d.a));
+  EXPECT_DOUBLE_EQ(telemetry.Gauge("heuristic.use_core_approx"), 0.0);
+}
+
+TEST(Heuristic, SingleVertexGraph) {
+  const Graph g = BuildUndirected({}, 1);
+  const HeuristicDecision d = SelectOrdering(g);
+  EXPECT_EQ(d.max_degree, 0u);
   EXPECT_FALSE(d.use_core_approx);
 }
 
