@@ -3,17 +3,23 @@
 //
 // Usage:
 //   pivotscale_cli --graph path.el [--k 8] [--all-k] [--per-vertex]
+//                  [--top 10]
 //                  [--ordering heuristic|core|approx|kcore|centrality|degree]
 //                  [--eps -0.5] [--structure remap|sparse|dense]
 //                  [--threads N] [--stats] [--save-binary out.psg]
 //                  [--telemetry-json out.json]
 //
-// --telemetry-json writes the full run telemetry (per-phase spans,
-// per-thread busy times, op counters) as one JSON document and prints the
-// ASCII load-imbalance summary. Without --graph a demo graph is generated
-// (so the binary runs bare).
+// --per-vertex prints the --top N most clique-active vertices (default 10)
+// and, with --telemetry-json, records them as the "per_vertex.top_vertex_ids"
+// / "per_vertex.top_counts" series. --telemetry-json writes the full run
+// telemetry (per-phase spans, per-thread busy times, op counters) as one
+// JSON document and prints the ASCII load-imbalance summary. Unknown flags
+// are rejected. Without --graph a demo graph is generated (so the binary
+// runs bare).
+#include <algorithm>
 #include <iostream>
 #include <stdexcept>
+#include <vector>
 
 #include "pivotscale.h"
 #include "util/cli.h"
@@ -46,6 +52,10 @@ SubgraphKind ParseStructure(const std::string& name) {
 int main(int argc, char** argv) {
   try {
     ArgParser args(argc, argv);
+    args.RejectUnknown({"graph", "k", "all-k", "per-vertex", "top",
+                        "ordering", "eps", "structure", "threads", "stats",
+                        "save-binary", "telemetry-json",
+                        "heuristic-min-nodes"});
     const std::string path = args.GetString("graph", "");
 
     Graph g;
@@ -108,15 +118,40 @@ int main(int argc, char** argv) {
                 << "\n";
     }
     if (options.count.per_vertex) {
-      BigCount max_count{};
-      NodeId argmax = 0;
+      // Top-N vertices by k-clique participation (ties broken by id).
+      const auto& pv = result.count.per_vertex;
+      std::vector<NodeId> order;
       for (NodeId v = 0; v < g.NumNodes(); ++v)
-        if (result.count.per_vertex[v] > max_count) {
-          max_count = result.count.per_vertex[v];
-          argmax = v;
+        if (pv[v] != BigCount{}) order.push_back(v);
+      const std::size_t top = std::min<std::size_t>(
+          static_cast<std::size_t>(std::max<std::int64_t>(
+              args.GetInt("top", 10), 1)),
+          order.size());
+      std::partial_sort(order.begin(), order.begin() + top, order.end(),
+                        [&](NodeId a, NodeId b) {
+                          if (pv[a] != pv[b]) return pv[b] < pv[a];
+                          return a < b;
+                        });
+      TablePrinter table("top " + std::to_string(top) +
+                             " clique-active vertices",
+                         {"rank", "vertex", std::to_string(options.k) +
+                                                "-cliques"});
+      for (std::size_t t = 0; t < top; ++t)
+        table.AddRow({TablePrinter::Cell(std::uint64_t{t + 1}),
+                      TablePrinter::Cell(std::uint64_t{order[t]}),
+                      pv[order[t]].ToString()});
+      table.Print();
+      if (!telemetry_path.empty()) {
+        // Counts ride as doubles (exact below 2^53; the JSON series slot
+        // is double-typed) so per-vertex results land in the run report.
+        std::vector<double> ids(top), counts(top);
+        for (std::size_t t = 0; t < top; ++t) {
+          ids[t] = static_cast<double>(order[t]);
+          counts[t] = pv[order[t]].AsDouble();
         }
-      std::cout << "most clique-active vertex: " << argmax << " ("
-                << max_count.ToString() << " cliques)\n";
+        telemetry.SetSeries("per_vertex.top_vertex_ids", std::move(ids));
+        telemetry.SetSeries("per_vertex.top_counts", std::move(counts));
+      }
     }
     if (options.count.collect_op_stats) {
       std::cout << "recursion: " << result.count.ops.calls << " calls, "

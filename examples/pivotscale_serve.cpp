@@ -1,0 +1,151 @@
+// Clique-query server over preprocessed .psx artifacts.
+//
+// Speaks the newline-delimited JSON protocol of src/service/protocol.h on
+// stdin/stdout: one request object per line, one response per line, in
+// request order. A blank line (or end of input) flushes the accumulated
+// lines as one batch through the QueryEngine, so same-graph k-queries
+// inside a batch are answered from a single counting run.
+//
+// Usage:
+//   pivotscale_serve [--batch requests.ndjson] [--cache-bytes N]
+//                    [--threads N] [--preload a.psx,b.psx]
+//                    [--telemetry-json out.json]
+//
+// --batch replays a request file (benchmarking / CI smoke); without it,
+// requests are read from stdin until EOF. Run with --help for the request
+// schema. Executed bare (no stdin redirection is detected as an empty
+// batch), the binary prints the usage banner and exits cleanly.
+#include <unistd.h>
+
+#include <cstdio>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <stdexcept>
+#include <vector>
+
+#include "service/protocol.h"
+#include "service/query_engine.h"
+#include "util/cli.h"
+#include "util/telemetry.h"
+
+using namespace pivotscale;
+
+namespace {
+
+constexpr char kUsage[] =
+    "pivotscale_serve: NDJSON clique-query server over .psx artifacts\n"
+    "  request : {\"id\":1,\"graph\":\"g.psx\",\"k\":8}\n"
+    "            optional keys: all_k, per_vertex, top, structure\n"
+    "  response: {\"id\":1,\"ok\":true,\"k\":8,\"count\":\"...\",...}\n"
+    "  a blank line flushes the pending lines as one deduplicated batch\n"
+    "Build artifacts with pivotscale_prep; see docs/serving.md.\n";
+
+struct PendingRequest {
+  std::int64_t id = -1;
+  bool parsed = false;
+  std::string parse_error;
+  ServiceQuery query;
+};
+
+// Parses the accumulated lines, runs the parseable ones as one batch, and
+// writes one response line per request, in order.
+void FlushBatch(QueryEngine& engine, std::vector<std::string>* lines,
+                std::ostream& out) {
+  if (lines->empty()) return;
+  std::vector<PendingRequest> pending;
+  std::vector<ServiceQuery> batch;
+  pending.reserve(lines->size());
+  for (const std::string& line : *lines) {
+    PendingRequest req;
+    try {
+      ProtocolRequest parsed = ParseRequest(line);
+      req.id = parsed.id;
+      req.query = std::move(parsed.query);
+      req.parsed = true;
+      batch.push_back(req.query);
+    } catch (const std::exception& e) {
+      req.parse_error = e.what();
+    }
+    pending.push_back(std::move(req));
+  }
+  const std::vector<ServiceResult> results = engine.RunBatch(batch);
+  std::size_t next_result = 0;
+  for (const PendingRequest& req : pending) {
+    if (req.parsed)
+      out << SerializeResponse(req.id, results[next_result++]) << '\n';
+    else
+      out << SerializeError(req.id, req.parse_error) << '\n';
+  }
+  out.flush();
+  lines->clear();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  try {
+    ArgParser args(argc, argv);
+    args.RejectUnknown({"batch", "cache-bytes", "threads", "preload",
+                        "telemetry-json", "help"});
+    if (args.GetBool("help", false)) {
+      std::cout << kUsage;
+      return 0;
+    }
+
+    const std::string telemetry_path =
+        args.GetString("telemetry-json", "");
+    TelemetryRegistry telemetry;
+
+    QueryEngineOptions options;
+    options.cache_byte_budget = static_cast<std::size_t>(
+        args.GetInt("cache-bytes", std::int64_t{1} << 30));
+    options.num_threads = static_cast<int>(args.GetInt("threads", 0));
+    if (!telemetry_path.empty()) options.telemetry = &telemetry;
+    QueryEngine engine(options);
+
+    std::stringstream preload_list(args.GetString("preload", ""));
+    std::string preload_path;
+    while (std::getline(preload_list, preload_path, ',')) {
+      if (preload_path.empty()) continue;
+      engine.Preload(preload_path);
+      std::cerr << "preloaded " << preload_path << "\n";
+    }
+
+    const std::string batch_path = args.GetString("batch", "");
+    std::ifstream batch_file;
+    if (!batch_path.empty()) {
+      batch_file.open(batch_path);
+      if (!batch_file)
+        throw std::runtime_error("cannot open --batch file " + batch_path);
+    }
+    std::istream& in = batch_path.empty() ? std::cin : batch_file;
+
+    // Interactive stdin with no piped input: print usage so a bare run in
+    // the examples loop terminates instead of blocking on a silent read.
+    if (batch_path.empty() && isatty(fileno(stdin))) {
+      std::cout << kUsage;
+      return 0;
+    }
+
+    std::vector<std::string> lines;
+    std::string line;
+    while (std::getline(in, line)) {
+      if (line.empty()) {
+        FlushBatch(engine, &lines, std::cout);
+        continue;
+      }
+      lines.push_back(line);
+    }
+    FlushBatch(engine, &lines, std::cout);
+
+    if (!telemetry_path.empty()) {
+      WriteRunReport(telemetry_path, telemetry);
+      std::cerr << "telemetry written to " << telemetry_path << "\n";
+    }
+    return 0;
+  } catch (const std::exception& e) {
+    std::cerr << "error: " << e.what() << "\n";
+    return 1;
+  }
+}

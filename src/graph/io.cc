@@ -8,11 +8,16 @@
 #include <stdexcept>
 
 #include "graph/builder.h"
+#include "util/atomic_file.h"
 
 namespace pivotscale {
 
 namespace {
 constexpr char kMagic[4] = {'P', 'S', 'G', '1'};
+
+void AppendBytes(std::string* out, const void* data, std::size_t bytes) {
+  out->append(static_cast<const char*>(data), bytes);
+}
 }  // namespace
 
 EdgeList ReadEdgeList(const std::string& path) {
@@ -48,21 +53,24 @@ void WriteEdgeList(const std::string& path, const EdgeList& edges) {
 }
 
 void WriteBinaryGraph(const std::string& path, const Graph& g) {
-  std::ofstream out(path, std::ios::binary);
-  if (!out) throw std::runtime_error("cannot open " + path + " for write");
-  out.write(kMagic, sizeof(kMagic));
-  const std::uint8_t undirected = g.undirected() ? 1 : 0;
-  out.write(reinterpret_cast<const char*>(&undirected), 1);
   const std::uint64_t num_nodes = g.NumNodes();
   const std::uint64_t num_entries = g.NumDirectedEdges();
-  out.write(reinterpret_cast<const char*>(&num_nodes), sizeof(num_nodes));
-  out.write(reinterpret_cast<const char*>(&num_entries),
-            sizeof(num_entries));
-  out.write(reinterpret_cast<const char*>(g.offsets().data()),
-            static_cast<std::streamsize>((num_nodes + 1) * sizeof(EdgeId)));
-  out.write(reinterpret_cast<const char*>(g.neighbor_array().data()),
-            static_cast<std::streamsize>(num_entries * sizeof(NodeId)));
-  if (!out) throw std::runtime_error("write failure on " + path);
+  std::string payload;
+  payload.reserve(sizeof(kMagic) + 1 + 2 * sizeof(std::uint64_t) +
+                  (num_nodes + 1) * sizeof(EdgeId) +
+                  num_entries * sizeof(NodeId));
+  AppendBytes(&payload, kMagic, sizeof(kMagic));
+  const std::uint8_t undirected = g.undirected() ? 1 : 0;
+  AppendBytes(&payload, &undirected, 1);
+  AppendBytes(&payload, &num_nodes, sizeof(num_nodes));
+  AppendBytes(&payload, &num_entries, sizeof(num_entries));
+  AppendBytes(&payload, g.offsets().data(),
+              (num_nodes + 1) * sizeof(EdgeId));
+  AppendBytes(&payload, g.neighbor_array().data(),
+              num_entries * sizeof(NodeId));
+  // Temp file + rename: an interrupted write can never leave a truncated
+  // .psg that a later ReadBinaryGraph half-accepts.
+  WriteFileAtomic(path, payload);
 }
 
 Graph ReadBinaryGraph(const std::string& path) {

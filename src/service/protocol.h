@@ -1,0 +1,48 @@
+// Newline-delimited JSON request/response protocol for pivotscale_serve.
+//
+// One request per line, one response per line, positionally ordered and
+// correlated by an optional caller-chosen "id". Requests:
+//   {"id": 1, "graph": "web.psx", "k": 8}
+//   {"id": 2, "graph": "web.psx", "k": 6, "per_vertex": true, "top": 10}
+//   {"id": 3, "graph": "web.psx", "all_k": true}
+// Accepted keys: id (number), graph (string, required), k (number >= 1),
+// all_k (bool), per_vertex (bool), top (number >= 1), structure
+// ("remap" | "sparse" | "dense"). Unknown keys are rejected so a typo like
+// "per_vertx" fails loudly instead of silently serving the default.
+//
+// Responses (counts are decimal strings — they are 128-bit):
+//   {"id":1,"ok":true,"k":8,"count":"6352","cache_hit":true,
+//    "memo_hit":false,"seconds":0.0021}
+//   ... plus "per_size":[{"size":3,"count":"..."},...] for all_k and
+//   "top_vertices":[{"vertex":17,"count":"..."},...] for per_vertex.
+// Failures: {"id":4,"ok":false,"error":"..."}.
+#ifndef PIVOTSCALE_SERVICE_PROTOCOL_H_
+#define PIVOTSCALE_SERVICE_PROTOCOL_H_
+
+#include <cstdint>
+#include <string>
+
+#include "service/query_engine.h"
+
+namespace pivotscale {
+
+// A parsed request line: the query plus the correlation id (-1 if absent).
+struct ProtocolRequest {
+  std::int64_t id = -1;
+  ServiceQuery query;
+};
+
+// Parses one NDJSON request line. Throws std::runtime_error on malformed
+// JSON, a missing/empty "graph", out-of-range values, or unknown keys.
+ProtocolRequest ParseRequest(const std::string& line);
+
+// Serializes one response line (no trailing newline).
+std::string SerializeResponse(std::int64_t id, const ServiceResult& result);
+
+// Serializes a failure line for a request that never reached the engine
+// (e.g. a parse error).
+std::string SerializeError(std::int64_t id, const std::string& message);
+
+}  // namespace pivotscale
+
+#endif  // PIVOTSCALE_SERVICE_PROTOCOL_H_

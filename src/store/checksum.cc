@@ -1,0 +1,47 @@
+#include "store/checksum.h"
+
+#include <array>
+
+namespace pivotscale {
+
+namespace {
+
+// Reflected ECMA-182 polynomial (CRC-64/XZ).
+constexpr std::uint64_t kPoly = 0xC96C5795D7870F42ull;
+
+std::array<std::uint64_t, 256> BuildTable() {
+  std::array<std::uint64_t, 256> table{};
+  for (std::uint32_t i = 0; i < 256; ++i) {
+    std::uint64_t crc = i;
+    for (int bit = 0; bit < 8; ++bit)
+      crc = (crc >> 1) ^ ((crc & 1) ? kPoly : 0);
+    table[i] = crc;
+  }
+  return table;
+}
+
+const std::array<std::uint64_t, 256>& Table() {
+  static const std::array<std::uint64_t, 256> table = BuildTable();
+  return table;
+}
+
+}  // namespace
+
+std::uint64_t Crc64Init() { return ~0ull; }
+
+std::uint64_t Crc64Update(std::uint64_t state, const void* bytes,
+                          std::size_t size) {
+  const auto* p = static_cast<const unsigned char*>(bytes);
+  const auto& table = Table();
+  for (std::size_t i = 0; i < size; ++i)
+    state = (state >> 8) ^ table[(state ^ p[i]) & 0xFF];
+  return state;
+}
+
+std::uint64_t Crc64Final(std::uint64_t state) { return ~state; }
+
+std::uint64_t Crc64(const void* bytes, std::size_t size) {
+  return Crc64Final(Crc64Update(Crc64Init(), bytes, size));
+}
+
+}  // namespace pivotscale

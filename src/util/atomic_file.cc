@@ -1,0 +1,35 @@
+#include "util/atomic_file.h"
+
+#include <unistd.h>
+
+#include <cstdio>
+#include <fstream>
+#include <stdexcept>
+
+namespace pivotscale {
+
+void WriteFileAtomic(const std::string& path, std::string_view contents) {
+  // The temp file must live in the destination directory: rename is only
+  // atomic within one filesystem. The pid suffix keeps concurrent writers
+  // of the same destination from clobbering each other's temp payloads.
+  const std::string tmp =
+      path + ".tmp." + std::to_string(static_cast<long long>(::getpid()));
+  {
+    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+    if (!out) throw std::runtime_error("cannot open " + tmp + " for write");
+    out.write(contents.data(),
+              static_cast<std::streamsize>(contents.size()));
+    out.flush();
+    if (!out) {
+      out.close();
+      std::remove(tmp.c_str());
+      throw std::runtime_error("write failure on " + tmp);
+    }
+  }
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    std::remove(tmp.c_str());
+    throw std::runtime_error("cannot rename " + tmp + " over " + path);
+  }
+}
+
+}  // namespace pivotscale

@@ -1,0 +1,25 @@
+// Atomic file replacement.
+//
+// Every writer of a loadable artifact (.psg graphs, .psx store artifacts,
+// JSON run reports) must never leave a truncated file a later load
+// half-accepts: the payload goes to a temp file in the same directory and
+// is renamed over the destination only after a successful write + close.
+// rename(2) within one filesystem is atomic, so readers observe either the
+// old complete file or the new complete file, never a prefix.
+#ifndef PIVOTSCALE_UTIL_ATOMIC_FILE_H_
+#define PIVOTSCALE_UTIL_ATOMIC_FILE_H_
+
+#include <string>
+#include <string_view>
+
+namespace pivotscale {
+
+// Writes `contents` to `path` atomically via a sibling temp file + rename.
+// Overwrites an existing file. Throws std::runtime_error on any I/O
+// failure; the temp file is removed on error and the destination keeps its
+// previous contents (or stays absent).
+void WriteFileAtomic(const std::string& path, std::string_view contents);
+
+}  // namespace pivotscale
+
+#endif  // PIVOTSCALE_UTIL_ATOMIC_FILE_H_

@@ -1,5 +1,6 @@
 #include "util/cli.h"
 
+#include <algorithm>
 #include <cstdlib>
 #include <stdexcept>
 
@@ -91,6 +92,23 @@ std::vector<std::int64_t> ArgParser::GetIntList(
     begin = end + 1;
   }
   return out;
+}
+
+void ArgParser::RejectUnknown(const std::vector<std::string>& known) const {
+  std::string unknown;
+  for (const auto& [name, value] : flags_) {
+    if (std::find(known.begin(), known.end(), name) != known.end()) continue;
+    if (!unknown.empty()) unknown += ", ";
+    unknown += "--" + name;
+  }
+  if (unknown.empty()) return;
+  std::string accepted;
+  for (const std::string& name : known) {
+    if (!accepted.empty()) accepted += ", ";
+    accepted += "--" + name;
+  }
+  throw std::runtime_error("unknown flag(s) " + unknown + "; accepted: " +
+                           accepted);
 }
 
 }  // namespace pivotscale

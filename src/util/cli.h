@@ -35,6 +35,12 @@ class ArgParser {
   std::vector<std::int64_t> GetIntList(
       const std::string& name, const std::vector<std::int64_t>& def) const;
 
+  // Raises std::runtime_error naming every parsed flag that is not in
+  // `known` (and listing the accepted set), so a misspelled flag like
+  // "--orderng" fails loudly instead of silently falling back to defaults.
+  // Call after construction with the binary's full flag vocabulary.
+  void RejectUnknown(const std::vector<std::string>& known) const;
+
   const std::vector<std::string>& positional() const { return positional_; }
   const std::string& program_name() const { return program_name_; }
 

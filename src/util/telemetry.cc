@@ -6,6 +6,7 @@
 #include <sstream>
 #include <stdexcept>
 
+#include "util/atomic_file.h"
 #include "util/json_writer.h"
 #include "util/stats.h"
 
@@ -162,13 +163,9 @@ std::string LoadImbalanceSummary(const TelemetryRegistry& registry) {
 
 void WriteRunReport(const std::string& path,
                     const TelemetryRegistry& registry) {
-  std::ofstream out(path);
-  if (!out)
-    throw std::runtime_error("WriteRunReport: cannot open " + path +
-                             " for write");
-  out << RunReportJson(registry) << '\n';
-  if (!out)
-    throw std::runtime_error("WriteRunReport: write failure on " + path);
+  // Temp file + rename: a crashed run never leaves a truncated JSON
+  // document that a downstream parser half-accepts.
+  WriteFileAtomic(path, RunReportJson(registry) + '\n');
 }
 
 }  // namespace pivotscale

@@ -1,0 +1,247 @@
+// Store subsystem tests: .psx artifacts must round-trip bit-exactly
+// against a fresh pipeline run, reject version/endianness mismatches, and
+// fail the checksum on any bit flip — plus the atomic-write contract every
+// artifact writer shares.
+#include <gtest/gtest.h>
+#include <unistd.h>
+
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "graph/builder.h"
+#include "graph/generators.h"
+#include "graph/io.h"
+#include "order/core_order.h"
+#include "pivot/pivotscale.h"
+#include "store/artifact.h"
+#include "store/checksum.h"
+#include "util/atomic_file.h"
+#include "util/telemetry.h"
+
+namespace pivotscale {
+namespace {
+
+class TempFile {
+ public:
+  explicit TempFile(const std::string& name)
+      : path_(::testing::TempDir() + "/" + name) {}
+  ~TempFile() { std::remove(path_.c_str()); }
+  const std::string& path() const { return path_; }
+
+ private:
+  std::string path_;
+};
+
+std::string ReadAll(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  EXPECT_TRUE(static_cast<bool>(in)) << path;
+  return std::string(std::istreambuf_iterator<char>(in),
+                     std::istreambuf_iterator<char>());
+}
+
+void WriteAll(const std::string& path, const std::string& bytes) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+}
+
+// A clique-rich test graph, deterministic across runs.
+Graph TestGraph() {
+  EdgeList edges = Rmat(9, 6.0, 7);
+  PlantCliques(&edges, 512, 6, 5, 9, 3);
+  return BuildGraph(std::move(edges));
+}
+
+// ------------------------------------------------------------- checksum
+
+TEST(Crc64, KnownVectorAndIncrementalAgree) {
+  // CRC-64/XZ check value for "123456789".
+  const char* check = "123456789";
+  EXPECT_EQ(Crc64(check, 9), 0x995DC9BBDF1939FAull);
+
+  std::uint64_t state = Crc64Init();
+  state = Crc64Update(state, check, 4);
+  state = Crc64Update(state, check + 4, 5);
+  EXPECT_EQ(Crc64Final(state), Crc64(check, 9));
+}
+
+TEST(Crc64, DetectsEverySingleBitFlipOfASmallPayload) {
+  std::string payload = "pivotscale artifact payload";
+  const std::uint64_t clean = Crc64(payload.data(), payload.size());
+  for (std::size_t byte = 0; byte < payload.size(); ++byte) {
+    for (int bit = 0; bit < 8; ++bit) {
+      payload[byte] ^= static_cast<char>(1 << bit);
+      EXPECT_NE(Crc64(payload.data(), payload.size()), clean)
+          << "undetected flip at byte " << byte << " bit " << bit;
+      payload[byte] ^= static_cast<char>(1 << bit);
+    }
+  }
+}
+
+// ------------------------------------------------------------ round trip
+
+TEST(Artifact, RoundTripMatchesFreshPipelineRun) {
+  const Graph g = TestGraph();
+  const GraphArtifact built = BuildArtifact(g);
+  TempFile f("roundtrip.psx");
+  WriteArtifact(f.path(), built);
+  const GraphArtifact loaded = ReadArtifact(f.path());
+
+  EXPECT_EQ(loaded.graph.offsets(), built.graph.offsets());
+  EXPECT_EQ(loaded.graph.neighbor_array(), built.graph.neighbor_array());
+  EXPECT_TRUE(loaded.graph.undirected());
+  EXPECT_EQ(loaded.dag.offsets(), built.dag.offsets());
+  EXPECT_EQ(loaded.dag.neighbor_array(), built.dag.neighbor_array());
+  EXPECT_FALSE(loaded.dag.undirected());
+  EXPECT_EQ(loaded.ranks, built.ranks);
+  EXPECT_EQ(loaded.ordering_name, built.ordering_name);
+  EXPECT_EQ(loaded.max_out_degree, built.max_out_degree);
+  EXPECT_EQ(loaded.degeneracy, built.degeneracy);
+  EXPECT_EQ(loaded.degeneracy, Degeneracy(g));
+
+  // Counting on the loaded DAG must match the fresh pipeline exactly.
+  for (std::uint32_t k : {3u, 5u, 7u}) {
+    CountOptions copts;
+    copts.k = k;
+    const BigCount from_store =
+        CountCliques(loaded.dag, copts).total;
+    EXPECT_EQ(from_store, CountKCliquesSimple(g, k)) << "k=" << k;
+  }
+}
+
+TEST(Artifact, ForcedOrderingAndSkippedDegeneracy) {
+  const Graph g = TestGraph();
+  ArtifactBuildOptions options;
+  options.forced_ordering = OrderingSpec{OrderingKind::kCore};
+  options.compute_degeneracy = false;
+  const GraphArtifact built = BuildArtifact(g, options);
+  EXPECT_EQ(built.ordering_name, "core");
+  EXPECT_EQ(built.degeneracy, 0u);
+  // The core ordering provably achieves max out-degree == degeneracy.
+  EXPECT_EQ(built.max_out_degree, Degeneracy(g));
+}
+
+TEST(Artifact, BuildRecordsStoreSpans) {
+  TelemetryRegistry telemetry;
+  ArtifactBuildOptions options;
+  options.telemetry = &telemetry;
+  BuildArtifact(TestGraph(), options);
+  EXPECT_TRUE(telemetry.HasSpan("store.heuristic"));
+  EXPECT_TRUE(telemetry.HasSpan("store.ordering"));
+  EXPECT_TRUE(telemetry.HasSpan("store.directionalize"));
+  EXPECT_TRUE(telemetry.HasSpan("store.degeneracy"));
+}
+
+// ------------------------------------------------------------- rejection
+
+class ArtifactFileTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    file_ = std::make_unique<TempFile>("reject.psx");
+    WriteArtifact(file_->path(), BuildArtifact(TestGraph()));
+    bytes_ = ReadAll(file_->path());
+    ASSERT_GT(bytes_.size(), 100u);
+  }
+
+  void ExpectThrowContaining(const std::string& what) {
+    WriteAll(file_->path(), bytes_);
+    try {
+      ReadArtifact(file_->path());
+      FAIL() << "expected rejection mentioning \"" << what << "\"";
+    } catch (const std::runtime_error& e) {
+      EXPECT_NE(std::string(e.what()).find(what), std::string::npos)
+          << "actual error: " << e.what();
+    }
+  }
+
+  std::unique_ptr<TempFile> file_;
+  std::string bytes_;
+};
+
+TEST_F(ArtifactFileTest, RejectsBadMagic) {
+  bytes_[0] = 'Q';
+  ExpectThrowContaining("not a PSX1 artifact");
+}
+
+TEST_F(ArtifactFileTest, RejectsUnsupportedVersion) {
+  bytes_[4] = 2;  // version field (little-endian u32 at offset 4)
+  ExpectThrowContaining("unsupported artifact version 2");
+}
+
+TEST_F(ArtifactFileTest, RejectsForeignEndianness) {
+  // Byte-swap the endianness sentinel, as a big-endian writer would have
+  // laid it down.
+  std::swap(bytes_[8], bytes_[11]);
+  std::swap(bytes_[9], bytes_[10]);
+  ExpectThrowContaining("endianness mismatch");
+}
+
+TEST_F(ArtifactFileTest, BitFlipAnywhereFailsChecksum) {
+  // Flip one bit in the middle of the CSR payload and near the end.
+  for (const std::size_t pos :
+       {bytes_.size() / 2, bytes_.size() - 16}) {
+    SCOPED_TRACE(pos);
+    bytes_[pos] ^= 0x10;
+    ExpectThrowContaining("checksum mismatch");
+    bytes_[pos] ^= 0x10;
+  }
+}
+
+TEST_F(ArtifactFileTest, RejectsTruncation) {
+  bytes_.resize(bytes_.size() / 2);
+  ExpectThrowContaining("checksum mismatch");
+}
+
+TEST_F(ArtifactFileTest, RejectsTruncatedHeader) {
+  bytes_.resize(10);
+  ExpectThrowContaining("truncated");
+}
+
+// ---------------------------------------------------------- atomic write
+
+TEST(AtomicFile, WritesAndOverwrites) {
+  TempFile f("atomic.txt");
+  WriteFileAtomic(f.path(), "first");
+  EXPECT_EQ(ReadAll(f.path()), "first");
+  WriteFileAtomic(f.path(), "second, longer payload");
+  EXPECT_EQ(ReadAll(f.path()), "second, longer payload");
+}
+
+TEST(AtomicFile, FailedWriteLeavesNoFile) {
+  const std::string path =
+      ::testing::TempDir() + "/no_such_dir/out.bin";
+  EXPECT_THROW(WriteFileAtomic(path, "payload"), std::runtime_error);
+  std::ifstream in(path);
+  EXPECT_FALSE(static_cast<bool>(in));
+}
+
+TEST(AtomicFile, BinaryGraphWriterGoesThroughTempRename) {
+  // WriteBinaryGraph must land the complete file under the final name and
+  // leave no temp droppings next to it.
+  TempFile f("atomic_graph.psg");
+  const Graph g = TestGraph();
+  WriteBinaryGraph(f.path(), g);
+  const Graph loaded = ReadBinaryGraph(f.path());
+  EXPECT_EQ(loaded.offsets(), g.offsets());
+  EXPECT_EQ(loaded.neighbor_array(), g.neighbor_array());
+  std::ifstream tmp(f.path() + ".tmp." + std::to_string(::getpid()));
+  EXPECT_FALSE(static_cast<bool>(tmp));
+}
+
+TEST(AtomicFile, RunReportWriterIsAtomic) {
+  TempFile f("atomic_report.json");
+  TelemetryRegistry telemetry;
+  telemetry.AddCounter("demo", 1);
+  WriteRunReport(f.path(), telemetry);
+  const std::string report = ReadAll(f.path());
+  EXPECT_NE(report.find("\"demo\""), std::string::npos);
+  std::ifstream tmp(f.path() + ".tmp." + std::to_string(::getpid()));
+  EXPECT_FALSE(static_cast<bool>(tmp));
+}
+
+}  // namespace
+}  // namespace pivotscale
