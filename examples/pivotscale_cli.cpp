@@ -26,6 +26,7 @@
 #include "util/mem.h"
 #include "util/table.h"
 #include "util/telemetry.h"
+#include "util/version.h"
 
 using namespace pivotscale;
 
@@ -55,7 +56,11 @@ int main(int argc, char** argv) {
     args.RejectUnknown({"graph", "k", "all-k", "per-vertex", "top",
                         "ordering", "eps", "structure", "threads", "stats",
                         "save-binary", "telemetry-json",
-                        "heuristic-min-nodes"});
+                        "heuristic-min-nodes", "version"});
+    if (args.GetBool("version", false)) {
+      std::cout << "pivotscale_cli " << VersionString() << "\n";
+      return 0;
+    }
     const std::string path = args.GetString("graph", "");
 
     Graph g;

@@ -18,6 +18,7 @@
 #include "util/cli.h"
 #include "util/table.h"
 #include "util/telemetry.h"
+#include "util/version.h"
 
 using namespace pivotscale;
 
@@ -39,7 +40,11 @@ int main(int argc, char** argv) {
     ArgParser args(argc, argv);
     args.RejectUnknown({"graph", "out", "ordering", "eps",
                         "heuristic-min-nodes", "skip-degeneracy",
-                        "telemetry-json"});
+                        "telemetry-json", "version"});
+    if (args.GetBool("version", false)) {
+      std::cout << "pivotscale_prep " << VersionString() << "\n";
+      return 0;
+    }
     const std::string path = args.GetString("graph", "");
     const std::string out = args.GetString("out", "graph.psx");
 

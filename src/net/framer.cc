@@ -1,0 +1,65 @@
+#include "net/framer.h"
+
+#include <cstring>
+
+namespace pivotscale {
+
+ReadLineFramer::ReadLineFramer(std::size_t max_line_bytes)
+    : max_line_bytes_(max_line_bytes == 0 ? 1 : max_line_bytes) {}
+
+void ReadLineFramer::Feed(const char* data, std::size_t size,
+                          std::vector<FramedLine>* out) {
+  std::size_t pos = 0;
+  while (pos < size) {
+    const char* nl = static_cast<const char*>(
+        std::memchr(data + pos, '\n', size - pos));
+    const std::size_t end = nl == nullptr
+                                ? size
+                                : static_cast<std::size_t>(nl - data);
+    if (!dropping_) {
+      const std::size_t take = end - pos;
+      if (current_.size() + take > max_line_bytes_) {
+        // Too long even before the terminator: stop buffering and eat
+        // the rest of the line as it streams in.
+        dropping_ = true;
+        current_.clear();
+        current_.shrink_to_fit();
+      } else {
+        current_.append(data + pos, take);
+      }
+    }
+    if (nl == nullptr) break;  // terminator not in this chunk yet
+    FramedLine line;
+    if (dropping_) {
+      line.oversized = true;
+      dropping_ = false;
+    } else {
+      if (!current_.empty() && current_.back() == '\r')
+        current_.pop_back();
+      line.text = std::move(current_);
+      current_.clear();
+    }
+    out->push_back(std::move(line));
+    pos = end + 1;
+  }
+}
+
+bool ReadLineFramer::Finish(FramedLine* out) {
+  const bool pending = dropping_ || !current_.empty();
+  if (pending) {
+    FramedLine line;
+    if (dropping_) {
+      line.oversized = true;
+    } else {
+      if (!current_.empty() && current_.back() == '\r')
+        current_.pop_back();
+      line.text = std::move(current_);
+    }
+    *out = std::move(line);
+  }
+  current_.clear();
+  dropping_ = false;
+  return pending;
+}
+
+}  // namespace pivotscale

@@ -1,0 +1,132 @@
+#include "net/worker_pool.h"
+
+#include <algorithm>
+#include <map>
+
+#include "service/protocol.h"
+#include "util/telemetry.h"
+
+namespace pivotscale {
+
+std::string ServeNetBatch(QueryEngine& engine,
+                          std::vector<NetRequest>& requests,
+                          TelemetryRegistry* telemetry) {
+  TelemetryRegistry::ScopedSpan span(telemetry, "net.batch");
+  std::vector<std::string> responses(requests.size());
+
+  // Group parseable requests by artifact, preserving first-appearance
+  // order so the per-group deadline checks walk the batch front to back.
+  std::map<std::string, std::vector<std::size_t>> by_graph;
+  std::vector<std::string> group_order;
+  for (std::size_t i = 0; i < requests.size(); ++i) {
+    const NetRequest& req = requests[i];
+    if (!req.parsed) {
+      responses[i] = SerializeError(req.id, req.parse_error);
+      continue;
+    }
+    auto [it, inserted] = by_graph.try_emplace(req.query.graph);
+    if (inserted) group_order.push_back(req.query.graph);
+    it->second.push_back(i);
+  }
+
+  std::uint64_t timed_out = 0;
+  for (const std::string& graph : group_order) {
+    const std::vector<std::size_t>& members = by_graph[graph];
+    // The batch-group boundary: everything already past its deadline is
+    // answered without counting; the rest run as one deduplicated group.
+    const auto now = std::chrono::steady_clock::now();
+    std::vector<ServiceQuery> live;
+    std::vector<std::size_t> live_indices;
+    live.reserve(members.size());
+    for (std::size_t i : members) {
+      if (requests[i].deadline <= now) {
+        responses[i] = SerializeError(requests[i].id, "deadline exceeded");
+        ++timed_out;
+      } else {
+        live.push_back(requests[i].query);
+        live_indices.push_back(i);
+      }
+    }
+    if (live.empty()) continue;
+    const std::vector<ServiceResult> results = engine.RunBatch(live);
+    for (std::size_t j = 0; j < live_indices.size(); ++j)
+      responses[live_indices[j]] =
+          SerializeResponse(requests[live_indices[j]].id, results[j]);
+  }
+
+  if (telemetry != nullptr) {
+    telemetry->AddCounter("net.batches", 1);
+    telemetry->AddCounter("net.requests", requests.size());
+    if (timed_out > 0) telemetry->AddCounter("net.timed_out", timed_out);
+  }
+
+  std::string block;
+  for (std::string& line : responses) {
+    block += line;
+    block += '\n';
+  }
+  return block;
+}
+
+WorkerPool::WorkerPool(
+    QueryEngine* engine, WorkerPoolOptions options,
+    std::function<void(std::uint64_t, std::string)> on_complete)
+    : engine_(engine),
+      options_(options),
+      on_complete_(std::move(on_complete)) {
+  options_.workers = std::max(1, options_.workers);
+  options_.queue_depth = std::max<std::size_t>(1, options_.queue_depth);
+  workers_.reserve(static_cast<std::size_t>(options_.workers));
+  for (int w = 0; w < options_.workers; ++w)
+    workers_.emplace_back([this] { WorkerMain(); });
+}
+
+WorkerPool::~WorkerPool() { Drain(); }
+
+bool WorkerPool::TrySubmit(NetBatch&& batch) {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (draining_ || queue_.size() >= options_.queue_depth) return false;
+    queue_.push_back(std::move(batch));
+    high_water_ = std::max(high_water_, queue_.size());
+    if (options_.telemetry != nullptr)
+      options_.telemetry->SetGauge("net.queue_depth_high_water",
+                                   static_cast<double>(high_water_));
+  }
+  work_ready_.notify_one();
+  return true;
+}
+
+void WorkerPool::Drain() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    draining_ = true;
+  }
+  work_ready_.notify_all();
+  for (std::thread& worker : workers_)
+    if (worker.joinable()) worker.join();
+}
+
+std::size_t WorkerPool::queue_high_water() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return high_water_;
+}
+
+void WorkerPool::WorkerMain() {
+  for (;;) {
+    NetBatch batch;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      work_ready_.wait(lock,
+                       [this] { return draining_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // draining and nothing left
+      batch = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    std::string block =
+        ServeNetBatch(*engine_, batch.requests, options_.telemetry);
+    on_complete_(batch.connection_id, std::move(block));
+  }
+}
+
+}  // namespace pivotscale

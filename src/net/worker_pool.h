@@ -1,0 +1,121 @@
+// Fixed worker pool behind a bounded admission queue: the counting half
+// of the TCP serving layer.
+//
+// The epoll thread (src/net/event_loop.*) parses request lines and
+// submits whole batches here; workers run them through a shared
+// QueryEngine and hand the serialized NDJSON response block to a
+// completion callback. Two properties carry the load-shedding story:
+//
+//  * Admission is TrySubmit, never blocking. When `queue_depth` batches
+//    are already waiting the submit fails and the caller answers every
+//    request in the batch with {"ok":false,"error":"overloaded"} right
+//    away — bounded memory and bounded queueing delay instead of an
+//    unbounded backlog.
+//
+//  * Each request may carry an absolute steady-clock deadline. Deadlines
+//    are checked at batch-group boundaries (once per same-graph group,
+//    just before its counting run): expired requests get
+//    {"ok":false,"error":"deadline exceeded"} instead of being counted.
+//    A request that expires *while* its group is counting still gets its
+//    answer — counting runs are not interruptible.
+//
+// Telemetry (when a registry is configured): counters "net.batches",
+// "net.requests", "net.timed_out"; gauge "net.queue_depth_high_water";
+// span "net.batch" per executed batch.
+#ifndef PIVOTSCALE_NET_WORKER_POOL_H_
+#define PIVOTSCALE_NET_WORKER_POOL_H_
+
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "service/query_engine.h"
+
+namespace pivotscale {
+
+class TelemetryRegistry;
+
+// One request line of a batch, as admitted by the I/O thread. Lines that
+// failed parsing (or were oversized) ride along unparsed so the response
+// block preserves request order.
+struct NetRequest {
+  bool parsed = false;
+  std::int64_t id = -1;
+  std::string parse_error;  // response payload when !parsed
+  ServiceQuery query;
+  // Absolute deadline; time_point::max() when the request carried none.
+  std::chrono::steady_clock::time_point deadline =
+      std::chrono::steady_clock::time_point::max();
+};
+
+// A flushed batch from one connection.
+struct NetBatch {
+  std::uint64_t connection_id = 0;
+  std::vector<NetRequest> requests;
+};
+
+// Runs one batch through the engine and returns the response block: one
+// serialized NDJSON line per request, each '\n'-terminated, in request
+// order. Parse errors become error lines; parsed requests are grouped by
+// graph (the engine dedups each group into at most one counting run) with
+// the deadline check at every group boundary. Exposed standalone so the
+// stdin server and tests reuse the exact network semantics.
+std::string ServeNetBatch(QueryEngine& engine,
+                          std::vector<NetRequest>& requests,
+                          TelemetryRegistry* telemetry);
+
+struct WorkerPoolOptions {
+  std::size_t queue_depth = 64;  // max batches waiting (not running)
+  int workers = 2;               // fixed worker-thread count (>= 1)
+  TelemetryRegistry* telemetry = nullptr;  // not owned; may be null
+};
+
+class WorkerPool {
+ public:
+  // `on_complete(connection_id, response_block)` fires on a worker thread
+  // once per executed batch. Both `engine` and the callback must outlive
+  // the pool.
+  WorkerPool(QueryEngine* engine, WorkerPoolOptions options,
+             std::function<void(std::uint64_t, std::string)> on_complete);
+
+  // Drains and joins.
+  ~WorkerPool();
+
+  WorkerPool(const WorkerPool&) = delete;
+  WorkerPool& operator=(const WorkerPool&) = delete;
+
+  // Admits a batch unless the queue is full; returns false (batch
+  // untouched aside from the move) when the caller must shed it.
+  bool TrySubmit(NetBatch&& batch);
+
+  // Stops admission, waits for every queued batch to finish (completions
+  // still fire), and joins the workers. Idempotent.
+  void Drain();
+
+  // Deepest the queue ever got (ops / tests).
+  std::size_t queue_high_water() const;
+
+ private:
+  void WorkerMain();
+
+  QueryEngine* engine_;
+  WorkerPoolOptions options_;
+  std::function<void(std::uint64_t, std::string)> on_complete_;
+
+  mutable std::mutex mutex_;
+  std::condition_variable work_ready_;
+  std::deque<NetBatch> queue_;
+  std::size_t high_water_ = 0;
+  bool draining_ = false;
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace pivotscale
+
+#endif  // PIVOTSCALE_NET_WORKER_POOL_H_

@@ -42,9 +42,18 @@ ProtocolRequest ParseRequest(const std::string& line) {
     throw std::runtime_error("request must be a JSON object");
 
   ProtocolRequest req;
+  bool has_id = false;
   for (const auto& [key, value] : doc.object) {
     if (key == "id") {
       req.id = RequireInt(value, "id");
+      if (req.id < 0)
+        throw std::runtime_error("request key \"id\" must be >= 0");
+      has_id = true;
+    } else if (key == "deadline_ms") {
+      req.deadline_ms = RequireInt(value, "deadline_ms");
+      if (req.deadline_ms < 0)
+        throw std::runtime_error(
+            "request key \"deadline_ms\" must be >= 0");
     } else if (key == "graph") {
       if (!value.IsString())
         throw std::runtime_error("request key \"graph\" must be a string");
@@ -72,6 +81,9 @@ ProtocolRequest ParseRequest(const std::string& line) {
       throw std::runtime_error("unknown request key \"" + key + "\"");
     }
   }
+  if (!has_id)
+    throw std::runtime_error(
+        "request needs a non-negative \"id\" for response correlation");
   if (req.query.graph.empty())
     throw std::runtime_error(
         "request needs a non-empty \"graph\" artifact path");

@@ -1,14 +1,17 @@
 // Newline-delimited JSON request/response protocol for pivotscale_serve.
 //
 // One request per line, one response per line, positionally ordered and
-// correlated by an optional caller-chosen "id". Requests:
+// correlated by a required caller-chosen "id". Requests:
 //   {"id": 1, "graph": "web.psx", "k": 8}
 //   {"id": 2, "graph": "web.psx", "k": 6, "per_vertex": true, "top": 10}
-//   {"id": 3, "graph": "web.psx", "all_k": true}
-// Accepted keys: id (number), graph (string, required), k (number >= 1),
-// all_k (bool), per_vertex (bool), top (number >= 1), structure
-// ("remap" | "sparse" | "dense"). Unknown keys are rejected so a typo like
-// "per_vertx" fails loudly instead of silently serving the default.
+//   {"id": 3, "graph": "web.psx", "all_k": true, "deadline_ms": 250}
+// Accepted keys: id (number >= 0, required), graph (string, required),
+// k (number >= 1), all_k (bool), per_vertex (bool), top (number >= 1),
+// structure ("remap" | "sparse" | "dense"), deadline_ms (number >= 0 —
+// a soft per-request deadline enforced by the network server at
+// batch-group boundaries; the stdin server accepts and ignores it).
+// Unknown keys are rejected so a typo like "per_vertx" fails loudly
+// instead of silently serving the default.
 //
 // Responses (counts are decimal strings — they are 128-bit):
 //   {"id":1,"ok":true,"k":8,"count":"6352","cache_hit":true,
@@ -26,14 +29,17 @@
 
 namespace pivotscale {
 
-// A parsed request line: the query plus the correlation id (-1 if absent).
+// A parsed request line: the query, the correlation id, and the optional
+// relative deadline (-1 when the request carried none).
 struct ProtocolRequest {
   std::int64_t id = -1;
+  std::int64_t deadline_ms = -1;
   ServiceQuery query;
 };
 
 // Parses one NDJSON request line. Throws std::runtime_error on malformed
-// JSON, a missing/empty "graph", out-of-range values, or unknown keys.
+// JSON, a missing/negative "id", a missing/empty "graph", out-of-range
+// values, or unknown keys.
 ProtocolRequest ParseRequest(const std::string& line);
 
 // Serializes one response line (no trailing newline).

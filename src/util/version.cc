@@ -1,0 +1,16 @@
+#include "util/version.h"
+
+#ifndef PIVOTSCALE_GIT_DESCRIBE
+#define PIVOTSCALE_GIT_DESCRIBE "unknown"
+#endif
+#ifndef PIVOTSCALE_BUILD_TYPE
+#define PIVOTSCALE_BUILD_TYPE "unspecified"
+#endif
+
+namespace pivotscale {
+
+const char* VersionString() {
+  return PIVOTSCALE_GIT_DESCRIBE " (" PIVOTSCALE_BUILD_TYPE ")";
+}
+
+}  // namespace pivotscale

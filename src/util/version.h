@@ -1,0 +1,19 @@
+// One shared build-identity string for every user-facing binary.
+//
+// VersionString() is "<git describe> (<build type>)" — e.g.
+// "5a77b63 (Release)" or "v1.2-4-g0deadbe-dirty (Debug)". The values are
+// baked in at configure time via the PIVOTSCALE_GIT_DESCRIBE /
+// PIVOTSCALE_BUILD_TYPE compile definitions on util/version.cc (see
+// src/CMakeLists.txt); a build outside a git checkout reports "unknown".
+// All CLI binaries expose it behind --version.
+#ifndef PIVOTSCALE_UTIL_VERSION_H_
+#define PIVOTSCALE_UTIL_VERSION_H_
+
+namespace pivotscale {
+
+// Static storage; never null.
+const char* VersionString();
+
+}  // namespace pivotscale
+
+#endif  // PIVOTSCALE_UTIL_VERSION_H_
