@@ -47,8 +47,12 @@ int main(int argc, char** argv) {
     for (std::size_t b = 0; b < buckets; ++b) {
       const std::uint64_t lo = b == 0 ? 0 : (std::uint64_t{1} << b);
       const std::uint64_t hi = (std::uint64_t{1} << (b + 1)) - 1;
-      table.AddRow({"[" + std::to_string(lo) + ", " + std::to_string(hi) +
-                        "]",
+      std::string bucket = "[";
+      bucket += std::to_string(lo);
+      bucket += ", ";
+      bucket += std::to_string(hi);
+      bucket += "]";
+      table.AddRow({std::move(bucket),
                     TablePrinter::Cell(
                         b < core_hist.size() ? core_hist[b] : 0),
                     TablePrinter::Cell(

@@ -1,0 +1,46 @@
+#!/usr/bin/env bash
+# One-shot local analysis gate (docs/analysis.md): everything CI runs,
+# runnable before a push. Stages:
+#   1. tools/lint.py               project-invariant linter
+#   2. -Werror build + full ctest  (build-check/)
+#   3. clang-tidy over src/        when a clang-tidy binary exists
+#   4. TSan build + race shards    (build-check-tsan/)
+# Stage 3 is skipped with a note on toolchains without clang-tidy (the
+# config is .clang-tidy; CI always runs it). Pass --fast to stop after
+# stage 2. Exits non-zero on the first failing stage.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+FAST=0
+[[ "${1:-}" == "--fast" ]] && FAST=1
+JOBS="$(nproc 2>/dev/null || echo 2)"
+
+echo "==> [1/4] lint.py"
+python3 tools/lint.py
+
+echo "==> [2/4] -Werror build + tests"
+cmake -B build-check -S . -DPIVOTSCALE_WERROR=ON >/dev/null
+cmake --build build-check -j"${JOBS}"
+ctest --test-dir build-check --output-on-failure -j"${JOBS}"
+
+if [[ "${FAST}" == "1" ]]; then
+  echo "==> --fast: skipping clang-tidy and TSan stages"
+  exit 0
+fi
+
+echo "==> [3/4] clang-tidy"
+if command -v clang-tidy >/dev/null 2>&1; then
+  # The -Werror tree exports compile_commands.json (always on).
+  git ls-files 'src/*.cc' | xargs -r clang-tidy -p build-check --quiet
+else
+  echo "    clang-tidy not installed; skipped (CI runs it — see"
+  echo "    .github/workflows/analysis.yml)"
+fi
+
+echo "==> [4/4] TSan build + race/net/service shards"
+cmake -B build-check-tsan -S . -DPIVOTSCALE_TSAN=ON >/dev/null
+cmake --build build-check-tsan -j"${JOBS}"
+ctest --test-dir build-check-tsan -R 'race|net|service|check' \
+  --output-on-failure
+
+echo "==> all analysis stages passed"

@@ -5,6 +5,7 @@
 #include <stdexcept>
 #include <vector>
 
+#include "util/check.h"
 #include "util/prefix_sum.h"
 #include "util/telemetry.h"
 
@@ -31,8 +32,15 @@ Graph Directionalize(const Graph& g, std::span<const NodeId> ranks,
 #pragma omp parallel for schedule(dynamic, 1024)
   for (NodeId u = 0; u < n; ++u) {
     EdgeId deg = 0;
-    for (NodeId v : g.Neighbors(u))
+    for (NodeId v : g.Neighbors(u)) {
+      // Always-on range check: an out-of-range neighbor here would index
+      // ranks[] out of bounds and silently corrupt every count downstream.
+      // The file readers validate their own input, so a failure means an
+      // in-memory producer broke the CSR contract.
+      CHECK_LT(v, n) << "Directionalize: neighbor of vertex " << u
+                     << " is outside the graph";
       if (ranks[u] < ranks[v]) ++deg;
+    }
     out_degrees[u] = deg;
   }
 
@@ -47,9 +55,13 @@ Graph Directionalize(const Graph& g, std::span<const NodeId> ranks,
     EdgeId pos = offsets[u];
     for (NodeId v : g.Neighbors(u))
       if (ranks[u] < ranks[v]) {
+        DCHECK_LT(pos, offsets[u + 1]);
         neighbors[pos++] = v;
         if (u > v) ++edge_flips;
       }
+    // Both passes must agree on each row's out-degree or the CSR rows
+    // would overlap.
+    DCHECK_EQ(pos, offsets[u + 1]);
   }
 
   Graph dag(std::move(offsets), std::move(neighbors),

@@ -1,8 +1,9 @@
 #include "graph/graph.h"
 
 #include <algorithm>
-#include <cassert>
 #include <stdexcept>
+
+#include "util/check.h"
 
 namespace pivotscale {
 
@@ -18,6 +19,13 @@ Graph::Graph(std::vector<EdgeId> offsets, std::vector<NodeId> neighbors,
   if (offsets_.back() != neighbors_.size())
     throw std::invalid_argument(
         "Graph: offsets.back() != neighbors.size()");
+  // Internal contract, not input validation: every producer of CSR arrays
+  // (builder, generators, directionalize, the validated file readers) must
+  // hand over monotone offsets. A violation here means counts upstream
+  // would silently read a negative-length row — fail fast instead.
+  for (NodeId u = 0; u < num_nodes_; ++u)
+    CHECK_LE(offsets_[u], offsets_[u + 1])
+        << "Graph: corrupt CSR offsets (decreasing at vertex " << u << ")";
 }
 
 bool Graph::HasEdge(NodeId u, NodeId v) const {

@@ -14,6 +14,8 @@
 #include <utility>
 #include <vector>
 
+#include "util/check.h"
+
 namespace pivotscale {
 
 // Vertex identifier. 32 bits covers every graph this repository targets
@@ -49,10 +51,14 @@ class Graph {
 
   bool undirected() const { return undirected_; }
 
-  EdgeId Degree(NodeId u) const { return offsets_[u + 1] - offsets_[u]; }
+  EdgeId Degree(NodeId u) const {
+    DCHECK_LT(u, num_nodes_);
+    return offsets_[u + 1] - offsets_[u];
+  }
 
   // Out-neighbors of u, sorted ascending by id.
   std::span<const NodeId> Neighbors(NodeId u) const {
+    DCHECK_LT(u, num_nodes_);
     return {neighbors_.data() + offsets_[u],
             static_cast<std::size_t>(offsets_[u + 1] - offsets_[u])};
   }

@@ -46,10 +46,17 @@ EdgeList ReadEdgeList(const std::string& path) {
 }
 
 void WriteEdgeList(const std::string& path, const EdgeList& edges) {
-  std::ofstream out(path);
-  if (!out) throw std::runtime_error("cannot open " + path + " for write");
-  for (const Edge& e : edges) out << e.first << ' ' << e.second << '\n';
-  if (!out) throw std::runtime_error("write failure on " + path);
+  // Buffered + atomic rename like every other writer: a half-written edge
+  // list silently loads as a smaller graph, the worst failure mode.
+  std::string payload;
+  payload.reserve(edges.size() * 12);
+  for (const Edge& e : edges) {
+    payload += std::to_string(e.first);
+    payload += ' ';
+    payload += std::to_string(e.second);
+    payload += '\n';
+  }
+  WriteFileAtomic(path, payload);
 }
 
 void WriteBinaryGraph(const std::string& path, const Graph& g) {

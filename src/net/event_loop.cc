@@ -15,6 +15,7 @@
 #include <stdexcept>
 
 #include "service/protocol.h"
+#include "util/check.h"
 #include "util/telemetry.h"
 
 namespace pivotscale {
@@ -45,6 +46,8 @@ NetServer::~NetServer() {
 }
 
 void NetServer::Start() {
+  CHECK(engine_ != nullptr) << "NetServer needs a QueryEngine";
+  CHECK(listen_fd_ < 0) << "NetServer::Start called twice";
   // Dead clients must surface as EPIPE from send(), not kill the process.
   ::signal(SIGPIPE, SIG_IGN);
 
@@ -302,6 +305,7 @@ void NetServer::HandleWritable(std::uint64_t conn_id) {
 }
 
 void NetServer::TryWrite(std::uint64_t conn_id, Connection& conn) {
+  DCHECK_LE(conn.out_offset, conn.out.size());
   while (conn.out_offset < conn.out.size()) {
     const ssize_t n =
         ::send(conn.fd, conn.out.data() + conn.out_offset,
@@ -339,7 +343,13 @@ void NetServer::HandleCompletions() {
     auto it = connections_.find(conn_id);
     if (it == connections_.end()) continue;  // connection died mid-batch
     Connection& conn = *it->second;
-    if (conn.inflight > 0) --conn.inflight;
+    // A completion can only come from a batch this connection submitted;
+    // an underflow means the inflight bookkeeping double-counted and the
+    // drain logic would close a connection with work still pending.
+    CHECK_GT(conn.inflight, 0)
+        << "NetServer: completion for connection " << conn_id
+        << " with no inflight batch";
+    --conn.inflight;
     conn.out += block;
     TryWrite(conn_id, conn);
     it = connections_.find(conn_id);

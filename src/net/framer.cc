@@ -2,6 +2,8 @@
 
 #include <cstring>
 
+#include "util/check.h"
+
 namespace pivotscale {
 
 ReadLineFramer::ReadLineFramer(std::size_t max_line_bytes)
@@ -9,6 +11,8 @@ ReadLineFramer::ReadLineFramer(std::size_t max_line_bytes)
 
 void ReadLineFramer::Feed(const char* data, std::size_t size,
                           std::vector<FramedLine>* out) {
+  CHECK(out != nullptr);
+  DCHECK(data != nullptr || size == 0);
   std::size_t pos = 0;
   while (pos < size) {
     const char* nl = static_cast<const char*>(

@@ -4,6 +4,7 @@
 #include <map>
 
 #include "service/protocol.h"
+#include "util/check.h"
 #include "util/telemetry.h"
 
 namespace pivotscale {
@@ -49,6 +50,8 @@ std::string ServeNetBatch(QueryEngine& engine,
     }
     if (live.empty()) continue;
     const std::vector<ServiceResult> results = engine.RunBatch(live);
+    // The engine's contract: results align positionally with the queries.
+    CHECK_EQ(results.size(), live_indices.size());
     for (std::size_t j = 0; j < live_indices.size(); ++j)
       responses[live_indices[j]] =
           SerializeResponse(requests[live_indices[j]].id, results[j]);
@@ -74,6 +77,8 @@ WorkerPool::WorkerPool(
     : engine_(engine),
       options_(options),
       on_complete_(std::move(on_complete)) {
+  CHECK(engine_ != nullptr) << "WorkerPool needs a QueryEngine";
+  CHECK(on_complete_) << "WorkerPool needs a completion callback";
   options_.workers = std::max(1, options_.workers);
   options_.queue_depth = std::max<std::size_t>(1, options_.queue_depth);
   workers_.reserve(static_cast<std::size_t>(options_.workers));
@@ -88,6 +93,7 @@ bool WorkerPool::TrySubmit(NetBatch&& batch) {
     std::lock_guard<std::mutex> lock(mutex_);
     if (draining_ || queue_.size() >= options_.queue_depth) return false;
     queue_.push_back(std::move(batch));
+    DCHECK_LE(queue_.size(), options_.queue_depth);
     high_water_ = std::max(high_water_, queue_.size());
     if (options_.telemetry != nullptr)
       options_.telemetry->SetGauge("net.queue_depth_high_water",

@@ -7,6 +7,7 @@
 #include "pivot/subgraph_dense.h"
 #include "pivot/subgraph_remap.h"
 #include "pivot/subgraph_sparse.h"
+#include "util/check.h"
 #include "util/stats.h"
 #include "util/telemetry.h"
 #include "util/timer.h"
@@ -100,6 +101,9 @@ CountResult Run(const Graph& dag, const CountOptions& options) {
       thread_chunks.assign(team, 0);
     }
     // (single's implicit barrier: every thread sees the sized arrays)
+    CHECK_LT(static_cast<std::size_t>(tid),
+             result.thread_busy_seconds.size())
+        << "count: OpenMP delivered a thread id outside the sized team";
     std::uint64_t chunks = 0;
     Timer busy_timer;
 
@@ -128,11 +132,14 @@ CountResult Run(const Graph& dag, const CountOptions& options) {
       result.total += counter.total();
       if (options.mode != CountMode::kSingleK) {
         const auto& sizes = counter.per_size();
+        CHECK_LE(sizes.size(), result.per_size.size())
+            << "count: per-thread per-size table outgrew the result table";
         for (std::size_t s = 0; s < sizes.size(); ++s)
           result.per_size[s] += sizes[s];
       }
       if (options.per_vertex) {
         const auto& pv = counter.per_vertex_counts();
+        CHECK_EQ(pv.size(), result.per_vertex.size());
         for (NodeId v = 0; v < n; ++v) result.per_vertex[v] += pv[v];
       }
       result.ops += counter.stats().Snapshot();
@@ -203,6 +210,9 @@ CountResult CountCliquesEdgeParallel(const Graph& dag,
         result.thread_busy_seconds.assign(team, 0.0);
         thread_chunks.assign(team, 0);
       }
+      CHECK_LT(static_cast<std::size_t>(tid),
+               result.thread_busy_seconds.size())
+          << "count: OpenMP delivered a thread id outside the sized team";
       std::uint64_t chunks = 0;
       Timer busy_timer;
 #pragma omp for schedule(dynamic, kEdgeOwnerChunk) nowait
@@ -217,6 +227,8 @@ CountResult CountCliquesEdgeParallel(const Graph& dag,
         result.total += counter.total();
         if (options.mode != CountMode::kSingleK) {
           const auto& sizes = counter.per_size();
+          CHECK_LE(sizes.size(), result.per_size.size())
+              << "count: per-thread per-size table outgrew the result table";
           for (std::size_t s = 0; s < sizes.size(); ++s)
             result.per_size[s] += sizes[s];
         }

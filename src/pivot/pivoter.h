@@ -28,6 +28,7 @@
 #include "graph/graph.h"
 #include "pivot/stats.h"
 #include "util/binomial.h"
+#include "util/check.h"
 #include "util/uint128.h"
 
 namespace pivotscale {
@@ -59,6 +60,12 @@ class PivotCounter {
         per_vertex_(per_vertex),
         early_termination_(early_termination),
         binom_(binom) {
+    CHECK(binom != nullptr);
+    CHECK_GE(k, 1u);
+    // The leaf rule consults C(np, *) for np up to the bound; a short
+    // table would silently read out of range mid-count.
+    CHECK_GE(binom->max_n(), max_clique_bound)
+        << "PivotCounter: binomial table does not cover the clique bound";
     sg_.Attach(dag);
     per_size_.assign(max_clique_bound + 2, BigCount{});
     if (per_vertex_) per_vertex_counts_.assign(dag.NumNodes(), BigCount{});
@@ -114,6 +121,7 @@ class PivotCounter {
   // required vertex is in all C(np, k-r) cliques; each pivot is in
   // C(np-1, k-r-1) of them (the cliques that chose it).
   BigCount LeafSingleK(std::uint32_t r, std::uint32_t np) {
+    DCHECK_LT(np, per_size_.size());  // bound from the DAG's max out-degree
     if (k_ < r || k_ - r > np) return BigCount{};
     const BigCount cliques = binom_->Choose(np, k_ - r);
     if (per_vertex_ && cliques != BigCount{}) {
@@ -131,6 +139,7 @@ class PivotCounter {
     std::uint32_t max_j = np;
     if (mode_ == CountMode::kAllUpToK && k_ >= r)
       max_j = std::min(np, k_ - r);
+    DCHECK_LT(r + max_j, per_size_.size());
     for (std::uint32_t j = 0; j <= max_j; ++j)
       per_size_[r + j] += binom_->Choose(np, j);
   }

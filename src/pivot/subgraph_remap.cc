@@ -2,6 +2,8 @@
 
 #include <numeric>
 
+#include "util/check.h"
+
 namespace pivotscale {
 
 void RemapSubgraph::Attach(const Graph& dag) {
@@ -11,6 +13,7 @@ void RemapSubgraph::Attach(const Graph& dag) {
 }
 
 void RemapSubgraph::Build(NodeId root) {
+  DCHECK(dag_ != nullptr) << "RemapSubgraph::Build before Attach";
   const auto nbrs = dag_->Neighbors(root);
   orig_.assign(nbrs.begin(), nbrs.end());
   FinishBuild();

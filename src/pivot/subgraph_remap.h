@@ -18,6 +18,7 @@
 #include <vector>
 
 #include "graph/graph.h"
+#include "util/check.h"
 #include "util/flat_hash.h"
 
 namespace pivotscale {
@@ -36,9 +37,13 @@ class RemapSubgraph {
   std::span<const Id> Vertices() const { return verts_; }
 
   std::span<Id> AdjPrefix(Id u) {
+    DCHECK_LT(u, verts_.size());
     return {rows_[u].data(), static_cast<std::size_t>(deg_[u])};
   }
-  std::uint32_t Deg(Id u) const { return deg_[u]; }
+  std::uint32_t Deg(Id u) const {
+    DCHECK_LT(u, verts_.size());
+    return deg_[u];
+  }
   void SetDeg(Id u, std::uint32_t d) { deg_[u] = d; }
 
   void Mark(Id u) { flags_[u] |= kMark; }

@@ -17,6 +17,7 @@
 #include <vector>
 
 #include "graph/graph.h"
+#include "util/check.h"
 #include "util/flat_hash.h"
 
 namespace pivotscale {
@@ -60,7 +61,12 @@ class SparseSubgraph {
   // Every per-vertex access pays this lookup — the structure's defining
   // cost (~1.2x a direct array access with the flat table). Ids passed in
   // are always subgraph members, so Find never misses.
-  std::uint32_t Slot(Id u) const { return index_.Find(u); }
+  std::uint32_t Slot(Id u) const {
+    const std::uint32_t s = index_.Find(u);
+    DCHECK_NE(s, FlatHashMap::kNotFound)
+        << "SparseSubgraph: id is not a member of the current subgraph";
+    return s;
+  }
 
   const Graph* dag_ = nullptr;
   FlatHashMap index_;  // orig id -> slot

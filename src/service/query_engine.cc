@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <stdexcept>
 
+#include "util/check.h"
 #include "util/telemetry.h"
 #include "util/timer.h"
 
@@ -96,9 +97,12 @@ void QueryEngine::ServeGroup(const std::shared_ptr<Entry>& entry,
                              const std::vector<ServiceQuery>& queries,
                              const std::vector<std::size_t>& indices,
                              std::vector<ServiceResult>* results) {
+  CHECK(entry != nullptr);
+  CHECK(results != nullptr);
   TelemetryRegistry* telemetry = options_.telemetry;
   Timer group_timer;
   std::lock_guard<std::mutex> lock(entry->count_mutex);
+  for (std::size_t i : indices) DCHECK_LT(i, results->size());
 
   // Coverage demanded by the plain-k and all-k queries of this group.
   bool need_all_k = false;
@@ -201,6 +205,7 @@ void QueryEngine::ServeGroup(const std::shared_ptr<Entry>& entry,
 
 std::shared_ptr<QueryEngine::Entry> QueryEngine::GetOrLoad(
     const std::string& path, bool* cache_hit) {
+  CHECK(cache_hit != nullptr);
   TelemetryRegistry* telemetry = options_.telemetry;
   {
     std::lock_guard<std::mutex> lock(cache_mutex_);
@@ -250,6 +255,11 @@ void QueryEngine::EvictOverBudget() {
     auto victim = cache_.begin();
     for (auto it = cache_.begin(); it != cache_.end(); ++it)
       if (it->second->last_used < victim->second->last_used) victim = it;
+    // Byte accounting must never go negative: every resident entry's bytes
+    // were added exactly once in GetOrLoad.
+    CHECK_GE(cached_bytes_, victim->second->bytes)
+        << "QueryEngine: cache byte accounting underflow evicting "
+        << victim->first;
     cached_bytes_ -= victim->second->bytes;
     cache_.erase(victim);
     ++evicted;

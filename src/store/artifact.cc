@@ -10,6 +10,7 @@
 #include "order/core_order.h"
 #include "store/checksum.h"
 #include "util/atomic_file.h"
+#include "util/check.h"
 #include "util/telemetry.h"
 
 namespace pivotscale {
@@ -147,6 +148,12 @@ GraphArtifact BuildArtifact(const Graph& g,
   }
 
   artifact.graph = g;
+  // Pipeline postconditions every consumer (writer, query engine) builds
+  // on; a mismatch here means one of the phases above broke its contract.
+  CHECK_EQ(artifact.ranks.size(), static_cast<std::size_t>(g.NumNodes()));
+  CHECK_EQ(artifact.dag.NumNodes(), g.NumNodes());
+  CHECK_EQ(artifact.dag.NumDirectedEdges() * 2, g.NumDirectedEdges())
+      << "BuildArtifact: DAG must hold each undirected edge exactly once";
   return artifact;
 }
 

@@ -12,6 +12,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "util/check.h"
 #include "util/uint128.h"
 
 namespace pivotscale {
@@ -23,10 +24,11 @@ class BinomialTable {
   // max_n is typically the DAG's maximum out-degree plus one.
   explicit BinomialTable(std::uint32_t max_n);
 
-  // C(n, k). Returns 0 when k > n (no validity check on n beyond the
-  // table bound, which is asserted in debug builds).
+  // C(n, k). Returns 0 when k > n; n must be within the table bound
+  // (checked in debug builds — this sits on the per-leaf hot path).
   uint128 Choose(std::uint32_t n, std::uint32_t k) const {
     if (k > n) return 0;
+    DCHECK_LE(n, max_n_) << "BinomialTable::Choose beyond the built rows";
     return rows_[n][k];
   }
 

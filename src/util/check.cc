@@ -1,0 +1,27 @@
+#include "util/check.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace pivotscale {
+namespace check_internal {
+
+CheckFailure::CheckFailure(const char* file, int line,
+                           const char* condition,
+                           const std::string& operands) {
+  stream_ << file << ':' << line << ": CHECK failed: " << condition
+          << operands << ' ';
+}
+
+CheckFailure::~CheckFailure() {
+  stream_ << '\n';
+  const std::string message = stream_.str();
+  // fwrite, not iostreams: the failure path must not depend on cout/cerr
+  // stream state and must stay signal-safe-adjacent right before abort.
+  std::fwrite(message.data(), 1, message.size(), stderr);
+  std::fflush(stderr);
+  std::abort();
+}
+
+}  // namespace check_internal
+}  // namespace pivotscale

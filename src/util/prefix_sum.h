@@ -10,7 +10,10 @@
 #include <omp.h>
 
 #include <cstdint>
+#include <type_traits>
 #include <vector>
+
+#include "util/check.h"
 
 namespace pivotscale {
 
@@ -18,6 +21,9 @@ namespace pivotscale {
 // total. `out` may alias `in`. T must be an unsigned integral type.
 template <typename T>
 T ParallelPrefixSum(const std::vector<T>& in, std::vector<T>* out) {
+  static_assert(std::is_unsigned_v<T>,
+                "ParallelPrefixSum requires an unsigned accumulator");
+  CHECK(out != nullptr);
   const std::size_t n = in.size();
   out->resize(n);
   if (n == 0) return T{0};

@@ -104,9 +104,12 @@ INSTANTIATE_TEST_SUITE_P(
     RandomGnp, DriverCrosscheck,
     ::testing::Values(CrossParam{40, 0.10, 1}, CrossParam{40, 0.25, 2},
                       CrossParam{60, 0.15, 3}, CrossParam{80, 0.08, 4}),
-    [](const ::testing::TestParamInfo<CrossParam>& info) {
-      return "n" + std::to_string(info.param.n) + "_seed" +
-             std::to_string(info.param.seed);
+    [](const ::testing::TestParamInfo<CrossParam>& param_info) {
+      std::string name = "n";
+      name += std::to_string(param_info.param.n);
+      name += "_seed";
+      name += std::to_string(param_info.param.seed);
+      return name;
     });
 
 TEST(DriverCrosscheck, PlantedCliquesDeepK) {

@@ -64,8 +64,8 @@ TEST_P(DatasetPipeline, AllKConsistentWithSingleK) {
 
 INSTANTIATE_TEST_SUITE_P(Suite, DatasetPipeline,
                          ::testing::ValuesIn(DatasetNames()),
-                         [](const auto& info) {
-                           std::string name = info.param;
+                         [](const auto& param_info) {
+                           std::string name = param_info.param;
                            for (char& c : name)
                              if (c == '-') c = '_';
                            return name;

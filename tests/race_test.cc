@@ -1,0 +1,313 @@
+// Deterministic concurrency stress tests, written to run under
+// ThreadSanitizer (cmake -DPIVOTSCALE_TSAN=ON). Each test hammers one of
+// the shared-state surfaces from many threads with exact, deterministic
+// expected totals, so a data race shows up either as a TSan report or as
+// a wrong count:
+//   * TelemetryRegistry counters/gauges/spans under concurrent mutation
+//   * QueryEngine LRU cache eviction under mixed-k batches on a byte
+//     budget too small for the working set
+//   * WorkerPool admission-queue shed/drain accounting
+//   * concurrent OpenMP counting runs (per-thread subgraph pools)
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <cstdio>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "graph/builder.h"
+#include "graph/generators.h"
+#include "net/worker_pool.h"
+#include "pivot/count.h"
+#include "pivot/pivotscale.h"
+#include "service/query_engine.h"
+#include "store/artifact.h"
+#include "test_helpers.h"
+#include "util/telemetry.h"
+
+namespace pivotscale {
+namespace {
+
+class TempFile {
+ public:
+  explicit TempFile(const std::string& name)
+      : path_(::testing::TempDir() + "/" + name) {}
+  ~TempFile() { std::remove(path_.c_str()); }
+  const std::string& path() const { return path_; }
+
+ private:
+  std::string path_;
+};
+
+// Small but clique-rich: TSan runs everything serialized-ish and ~5-15x
+// slower, so the stress graphs stay an order of magnitude smaller than
+// the functional-test ones.
+Graph SmallCliqueGraph(std::uint64_t seed) {
+  EdgeList edges = Rmat(7, 4.0, seed);
+  PlantCliques(&edges, 128, 4, 4, 6, seed + 1);
+  return BuildGraph(std::move(edges));
+}
+
+void JoinAll(std::vector<std::thread>& threads) {
+  for (std::thread& t : threads) t.join();
+}
+
+// --------------------------------------------------------------- telemetry
+
+TEST(RaceTest, TelemetryCountersAccumulateExactlyUnderContention) {
+  TelemetryRegistry telemetry;
+  constexpr int kThreads = 8;
+  constexpr std::uint64_t kIncrementsPerThread = 2000;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&telemetry, t] {
+      for (std::uint64_t i = 0; i < kIncrementsPerThread; ++i) {
+        telemetry.AddCounter("race.shared_total", 1);
+        telemetry.AddCounter("race.thread_" + std::to_string(t), 1);
+        if ((i & 255) == 0) {
+          telemetry.SetGauge("race.last_writer", static_cast<double>(t));
+          telemetry.RecordSpan("race.tick", 1e-9);
+        }
+      }
+    });
+  }
+  JoinAll(threads);
+
+  EXPECT_EQ(telemetry.Counter("race.shared_total"),
+            kThreads * kIncrementsPerThread);
+  for (int t = 0; t < kThreads; ++t)
+    EXPECT_EQ(telemetry.Counter("race.thread_" + std::to_string(t)),
+              kIncrementsPerThread);
+  EXPECT_TRUE(telemetry.HasSpan("race.tick"));
+  // Snapshot while another round of writers mutates: must be internally
+  // consistent, not torn.
+  std::vector<std::thread> writers;
+  std::atomic<bool> stop{false};
+  writers.emplace_back([&telemetry, &stop] {
+    while (!stop.load(std::memory_order_relaxed))
+      telemetry.AddCounter("race.background", 1);
+  });
+  for (int i = 0; i < 50; ++i) {
+    const TelemetrySnapshot snap = telemetry.Snapshot();
+    EXPECT_EQ(snap.counters.at("race.shared_total"),
+              kThreads * kIncrementsPerThread);
+  }
+  stop.store(true, std::memory_order_relaxed);
+  JoinAll(writers);
+}
+
+// ----------------------------------------------------- query-engine cache
+
+class EngineRaceTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    for (int a = 0; a < kArtifacts; ++a) {
+      graphs_.push_back(SmallCliqueGraph(100 + a));
+      files_.push_back(std::make_unique<TempFile>(
+          "race_engine_" + std::to_string(a) + ".psx"));
+      WriteArtifact(files_[a]->path(), BuildArtifact(graphs_[a]));
+      for (std::uint32_t k = 2; k <= kMaxK; ++k)
+        expected_[a][k] = CountKCliquesSimple(graphs_[a], k);
+    }
+  }
+
+  static constexpr int kArtifacts = 3;
+  static constexpr std::uint32_t kMaxK = 5;
+  std::vector<Graph> graphs_;
+  std::vector<std::unique_ptr<TempFile>> files_;
+  std::map<int, std::map<std::uint32_t, BigCount>> expected_;
+};
+
+TEST_F(EngineRaceTest, MixedKBatchesUnderEvictionPressureStayCorrect) {
+  // A budget one artifact can satisfy but three cannot: every rotation to
+  // a different artifact forces the load + evict path while other threads
+  // are mid-batch on the entry being evicted (shared_ptr keeps it alive).
+  TelemetryRegistry telemetry;
+  QueryEngineOptions options;
+  options.cache_byte_budget = BuildArtifact(graphs_[0]).HeapBytes() + 1024;
+  options.num_threads = 2;
+  options.telemetry = &telemetry;
+  QueryEngine engine(options);
+
+  constexpr int kThreads = 4;
+  constexpr int kRounds = 6;
+  std::atomic<int> mismatches{0};
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([this, &engine, &mismatches, t] {
+      for (int round = 0; round < kRounds; ++round) {
+        // Each thread walks the artifacts in a different phase, so the
+        // cache constantly rotates entries in and out.
+        const int a = (t + round) % kArtifacts;
+        std::vector<ServiceQuery> batch;
+        for (std::uint32_t k = 2; k <= kMaxK; ++k) {
+          ServiceQuery q;
+          q.graph = files_[a]->path();
+          q.k = k;
+          batch.push_back(q);
+        }
+        ServiceQuery all;
+        all.graph = files_[a]->path();
+        all.all_k = true;
+        all.k = kMaxK;
+        batch.push_back(all);
+        const std::vector<ServiceResult> results = engine.RunBatch(batch);
+        if (results.size() != batch.size()) {
+          mismatches.fetch_add(100);
+          continue;
+        }
+        for (std::size_t i = 0; i < results.size(); ++i) {
+          if (!results[i].ok ||
+              results[i].total != expected_[a][batch[i].k])
+            mismatches.fetch_add(1);
+        }
+      }
+    });
+  }
+  JoinAll(threads);
+
+  EXPECT_EQ(mismatches.load(), 0);
+  // The budget fits one artifact, three rotate through: evictions must
+  // have happened, and the resident set must respect the budget shape.
+  EXPECT_GT(telemetry.Counter("service.evictions"), 0u);
+  EXPECT_LE(engine.CachedArtifacts(), 2u);
+  EXPECT_EQ(telemetry.Counter("service.queries"),
+            static_cast<std::uint64_t>(kThreads) * kRounds *
+                (kMaxK - 2 + 1 + 1));
+}
+
+TEST_F(EngineRaceTest, ConcurrentBatchesOnOneArtifactShareMemo) {
+  QueryEngine engine;  // default budget: everything stays resident
+  constexpr int kThreads = 6;
+  std::atomic<int> mismatches{0};
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([this, &engine, &mismatches, t] {
+      const std::uint32_t k = 2 + static_cast<std::uint32_t>(t) % 4;
+      ServiceQuery q;
+      q.graph = files_[0]->path();
+      q.k = k;
+      const ServiceResult r = engine.RunQuery(q);
+      if (!r.ok || r.total != expected_[0][k]) mismatches.fetch_add(1);
+    });
+  }
+  JoinAll(threads);
+  EXPECT_EQ(mismatches.load(), 0);
+  EXPECT_EQ(engine.CachedArtifacts(), 1u);
+}
+
+// ------------------------------------------------------------ worker pool
+
+TEST(RaceTest, WorkerPoolShedsAndDrainsWithExactAccounting) {
+  TempFile artifact("race_pool.psx");
+  const Graph g = SmallCliqueGraph(77);
+  WriteArtifact(artifact.path(), BuildArtifact(g));
+  const BigCount truth = CountKCliquesSimple(g, 4);
+
+  QueryEngineOptions engine_options;
+  engine_options.num_threads = 1;
+  QueryEngine engine(engine_options);
+  engine.Preload(artifact.path());
+
+  std::mutex completions_mutex;
+  std::uint64_t completed = 0;
+  std::uint64_t bad_payloads = 0;
+  WorkerPoolOptions pool_options;
+  pool_options.queue_depth = 2;  // tiny: force the shed path constantly
+  pool_options.workers = 2;
+  auto pool = std::make_unique<WorkerPool>(
+      &engine, pool_options,
+      [&](std::uint64_t /*connection_id*/, std::string block) {
+        std::lock_guard<std::mutex> lock(completions_mutex);
+        ++completed;
+        if (block.find("\"ok\":true") == std::string::npos) ++bad_payloads;
+      });
+
+  constexpr int kProducers = 4;
+  constexpr int kBatchesPerProducer = 25;
+  std::atomic<std::uint64_t> admitted{0};
+  std::atomic<std::uint64_t> shed{0};
+  std::vector<std::thread> producers;
+  producers.reserve(kProducers);
+  for (int p = 0; p < kProducers; ++p) {
+    producers.emplace_back([&, p] {
+      for (int b = 0; b < kBatchesPerProducer; ++b) {
+        NetBatch batch;
+        batch.connection_id =
+            static_cast<std::uint64_t>(p) * kBatchesPerProducer + b;
+        NetRequest req;
+        req.parsed = true;
+        req.id = b;
+        req.query.graph = artifact.path();
+        req.query.k = 4;
+        batch.requests.push_back(req);
+        if (pool->TrySubmit(std::move(batch)))
+          admitted.fetch_add(1);
+        else
+          shed.fetch_add(1);
+      }
+    });
+  }
+  JoinAll(producers);
+  pool->Drain();  // every admitted batch must still complete
+
+  EXPECT_EQ(admitted.load() + shed.load(),
+            static_cast<std::uint64_t>(kProducers) * kBatchesPerProducer);
+  {
+    std::lock_guard<std::mutex> lock(completions_mutex);
+    EXPECT_EQ(completed, admitted.load());
+    EXPECT_EQ(bad_payloads, 0u);
+  }
+  EXPECT_LE(pool->queue_high_water(), pool_options.queue_depth);
+  // Post-drain submissions must be refused, not enqueued into the void.
+  NetBatch late;
+  late.requests.emplace_back();
+  EXPECT_FALSE(pool->TrySubmit(std::move(late)));
+  pool.reset();
+  (void)truth;
+}
+
+// -------------------------------------------------- OpenMP counting runs
+
+TEST(RaceTest, ConcurrentOpenMpCountingRunsAgree) {
+  // Two std::threads each running the OpenMP counting driver: nested
+  // parallelism over the per-thread subgraph pools. Every run must land
+  // on the brute-force count regardless of interleaving.
+  const Graph g = SmallCliqueGraph(55);
+  const Graph dag = testing_helpers::MakeDag(g, OrderingKind::kCore);
+  constexpr std::uint32_t kK = 4;
+  const std::uint64_t truth = testing_helpers::BruteForceCount(g, kK);
+
+  constexpr int kThreads = 3;
+  constexpr int kRunsPerThread = 4;
+  std::atomic<int> mismatches{0};
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&dag, truth, t, &mismatches] {
+      for (int run = 0; run < kRunsPerThread; ++run) {
+        CountOptions options;
+        options.k = kK;
+        options.num_threads = 2;
+        // Rotate the three subgraph structures so each pool type sees
+        // concurrent use.
+        options.structure = static_cast<SubgraphKind>((t + run) % 3);
+        const CountResult result = CountCliques(dag, options);
+        if (result.total != BigCount{truth}) mismatches.fetch_add(1);
+      }
+    });
+  }
+  JoinAll(threads);
+  EXPECT_EQ(mismatches.load(), 0);
+}
+
+}  // namespace
+}  // namespace pivotscale
