@@ -11,6 +11,12 @@
 // everywhere, except the dense structure plateauing at >=32 threads on
 // graphs whose |V|-sized per-thread indices spill the modeled LLC. The
 // busy-time CoV column checks the paper's load-balance claim (CoV ~ 0.03).
+//
+// --json <path> additionally re-runs each series for real (whole-machine
+// executor, default split threshold) and writes one JSON document pairing
+// the simulated speedup curves with the measured scheduler stats:
+// exec_splits (long-tail roots the driver split) and the realized team's
+// busy-time CoV. docs/parallelism.md explains the fields.
 #include <iostream>
 
 #include "bench_common.h"
@@ -20,6 +26,8 @@
 #include "sim/mem_model.h"
 #include "sim/scaling_sim.h"
 #include "util/ascii_chart.h"
+#include "util/atomic_file.h"
+#include "util/json_writer.h"
 #include "util/table.h"
 
 using namespace pivotscale;
@@ -34,6 +42,24 @@ int main(int argc, char** argv) {
   TelemetryRegistry telemetry;
   TelemetryRegistry* telemetry_ptr =
       args.Has("telemetry-json") ? &telemetry : nullptr;
+  const std::string json_path = args.GetString("json", "");
+
+  JsonWriter json;
+  if (!json_path.empty()) {
+    json.BeginObject();
+    json.Key("schema");
+    json.Value("pivotscale.fig11");
+    json.Key("version");
+    json.Value(std::uint64_t{1});
+    json.Key("cache_mb");
+    json.Value(cache_mb);
+    json.Key("threads");
+    json.BeginArray();
+    for (std::int64_t t : thread_counts) json.Value(t);
+    json.EndArray();
+    json.Key("series");
+    json.BeginArray();
+  }
   for (const Dataset& d : suite) {
     const Graph dag = Directionalize(d.graph, CoreOrdering(d.graph).ranks);
     for (std::int64_t k64 : ks) {
@@ -73,6 +99,39 @@ int main(int argc, char** argv) {
           if (t == 64)
             cov64 = SimulateScaling(result.work_trace, config).busy_cov;
         }
+        if (!json_path.empty()) {
+          // Real run (no trace, whole-machine budget, default threshold):
+          // the simulated curves say how the trace *should* scale; these
+          // fields say what the scheduler actually did to it.
+          TelemetryRegistry measured;
+          CountOptions measured_options;
+          measured_options.k = k;
+          measured_options.structure = kind;
+          measured_options.telemetry = &measured;
+          CountCliques(dag, measured_options);
+          json.BeginObject();
+          json.Key("dataset");
+          json.Value(d.name);
+          json.Key("k");
+          json.Value(std::uint64_t{k});
+          json.Key("structure");
+          json.Value(SubgraphKindName(kind));
+          json.Key("speedup");
+          json.BeginArray();
+          for (const double s : series.values) json.Value(s);
+          json.EndArray();
+          json.Key("sim_cov64");
+          json.Value(cov64);
+          json.Key("exec_splits");
+          json.Value(measured.Counter("exec.splits"));
+          json.Key("measured_team");
+          json.Value(measured.Gauge("exec.team"));
+          json.Key("measured_busy_cov");
+          json.Value(measured.Gauge("exec.busy_cov"));
+          json.Key("measured_seconds");
+          json.Value(measured.SpanSeconds("exec.region_wall"));
+          json.EndObject();
+        }
         chart_series.push_back(std::move(series));
         row.push_back(TablePrinter::Cell(cov64, 3));
         table.AddRow(std::move(row));
@@ -84,6 +143,12 @@ int main(int argc, char** argv) {
       chart_options.y_label = "speedup";
       std::cout << RenderChart(xs, chart_series, chart_options) << "\n";
     }
+  }
+  if (!json_path.empty()) {
+    json.EndArray();
+    json.EndObject();
+    WriteFileAtomic(json_path, json.str() + '\n');
+    std::cout << "wrote " << json_path << "\n";
   }
   bench::EmitTelemetryIfRequested(args, telemetry);
   return 0;

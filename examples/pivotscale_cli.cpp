@@ -91,8 +91,7 @@ int main(int argc, char** argv) {
     options.count.per_vertex = args.GetBool("per-vertex", false);
     options.count.structure =
         ParseStructure(args.GetString("structure", "remap"));
-    options.count.num_threads =
-        static_cast<int>(args.GetInt("threads", 0));
+    options.count.num_threads = args.GetThreads();
     options.count.collect_op_stats = args.GetBool("stats", false);
     options.heuristic.min_nodes =
         static_cast<NodeId>(args.GetInt("heuristic-min-nodes", 15'000));

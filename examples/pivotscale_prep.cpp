@@ -5,7 +5,7 @@
 // Usage:
 //   pivotscale_prep --graph in.el --out graph.psx
 //                   [--ordering heuristic|core|approx|kcore|centrality|degree]
-//                   [--eps -0.5] [--heuristic-min-nodes N]
+//                   [--eps -0.5] [--heuristic-min-nodes N] [--threads N]
 //                   [--skip-degeneracy] [--telemetry-json out.json]
 //
 // Without --graph a demo graph is generated (the CI loop executes every
@@ -13,6 +13,7 @@
 #include <iostream>
 #include <stdexcept>
 
+#include "exec/thread_budget.h"
 #include "pivotscale.h"
 #include "store/artifact.h"
 #include "util/cli.h"
@@ -40,11 +41,15 @@ int main(int argc, char** argv) {
     ArgParser args(argc, argv);
     args.RejectUnknown({"graph", "out", "ordering", "eps",
                         "heuristic-min-nodes", "skip-degeneracy",
-                        "telemetry-json", "version"});
+                        "threads", "telemetry-json", "version"});
     if (args.GetBool("version", false)) {
       std::cout << "pivotscale_prep " << VersionString() << "\n";
       return 0;
     }
+    // The build pipeline's parallel phases take their teams from the
+    // shared budget, so capping the budget is the whole-binary --threads.
+    if (args.Has("threads"))
+      ThreadBudget::Global().SetCapacity(args.GetThreads());
     const std::string path = args.GetString("graph", "");
     const std::string out = args.GetString("out", "graph.psx");
 

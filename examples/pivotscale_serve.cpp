@@ -127,7 +127,7 @@ int main(int argc, char** argv) {
     QueryEngineOptions options;
     options.cache_byte_budget = static_cast<std::size_t>(
         args.GetInt("cache-bytes", std::int64_t{1} << 30));
-    options.num_threads = static_cast<int>(args.GetInt("threads", 0));
+    options.num_threads = args.GetThreads();
     if (!telemetry_path.empty()) options.telemetry = &telemetry;
     QueryEngine engine(options);
 

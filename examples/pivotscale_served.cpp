@@ -83,8 +83,7 @@ int main(int argc, char** argv) {
     QueryEngineOptions engine_options;
     engine_options.cache_byte_budget = static_cast<std::size_t>(
         args.GetInt("cache-bytes", std::int64_t{1} << 30));
-    engine_options.num_threads =
-        static_cast<int>(args.GetInt("threads", 0));
+    engine_options.num_threads = args.GetThreads();
     if (!telemetry_path.empty()) engine_options.telemetry = &telemetry;
     QueryEngine engine(engine_options);
 
@@ -103,7 +102,7 @@ int main(int argc, char** argv) {
         static_cast<int>(args.GetInt("max-connections", 1024));
     options.queue_depth =
         static_cast<std::size_t>(args.GetInt("queue-depth", 64));
-    options.workers = static_cast<int>(args.GetInt("workers", 2));
+    options.workers = args.GetThreads("workers", 2);
     options.max_line_bytes = static_cast<std::size_t>(args.GetInt(
         "max-line-bytes",
         static_cast<std::int64_t>(ReadLineFramer::kDefaultMaxLineBytes)));

@@ -2,7 +2,10 @@
 # One-shot local analysis gate (docs/analysis.md): everything CI runs,
 # runnable before a push. Stages:
 #   1. tools/lint.py               project-invariant linter
-#   2. -Werror build + full ctest  (build-check/)
+#   2. -Werror build + full ctest  (build-check/), then the same suite
+#      again under OMP_NUM_THREADS=2 so a 2-thread budget exercises real
+#      multi-worker executor teams even on single-core runners, plus a
+#      micro_exec scheduler-smoke run
 #   3. clang-tidy over src/        when a clang-tidy binary exists
 #   4. TSan build + race shards    (build-check-tsan/)
 # Stage 3 is skipped with a note on toolchains without clang-tidy (the
@@ -22,6 +25,13 @@ echo "==> [2/4] -Werror build + tests"
 cmake -B build-check -S . -DPIVOTSCALE_WERROR=ON >/dev/null
 cmake --build build-check -j"${JOBS}"
 ctest --test-dir build-check --output-on-failure -j"${JOBS}"
+
+echo "==> [2/4] OMP_NUM_THREADS=2 shard (multi-worker executor teams)"
+OMP_NUM_THREADS=2 ctest --test-dir build-check --output-on-failure \
+  -R 'exec|pivot|driver_crosscheck|race|telemetry'
+
+echo "==> [2/4] micro_exec scheduler smoke"
+./build-check/bench/micro_exec --benchmark_min_time=0.01
 
 if [[ "${FAST}" == "1" ]]; then
   echo "==> --fast: skipping clang-tidy and TSan stages"

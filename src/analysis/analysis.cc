@@ -1,10 +1,9 @@
 #include "analysis/analysis.h"
 
-#include <omp.h>
-
 #include <algorithm>
 #include <cmath>
 
+#include "exec/executor.h"
 #include "graph/dag.h"
 #include "order/degree_order.h"
 
@@ -16,27 +15,30 @@ std::uint64_t CountTriangles(const Graph& g) {
   const Ordering order = DegreeOrdering(g);
   const Graph dag = Directionalize(g, order.ranks);
   const NodeId n = dag.NumNodes();
-  std::uint64_t total = 0;
-#pragma omp parallel for schedule(dynamic, 256) reduction(+ : total)
-  for (NodeId u = 0; u < n; ++u) {
-    const auto nu = dag.Neighbors(u);
-    for (NodeId v : nu) {
-      const auto nv = dag.Neighbors(v);
-      std::size_t i = 0, j = 0;
-      while (i < nu.size() && j < nv.size()) {
-        if (nu[i] < nv[j]) {
-          ++i;
-        } else if (nu[i] > nv[j]) {
-          ++j;
-        } else {
-          ++total;
-          ++i;
-          ++j;
+  ExecOptions exec_options;
+  exec_options.grain = 256;
+  return ParallelReduce(
+      n, exec_options, std::uint64_t{0},
+      [&dag](std::uint64_t& total, std::size_t idx) {
+        const auto u = static_cast<NodeId>(idx);
+        const auto nu = dag.Neighbors(u);
+        for (NodeId v : nu) {
+          const auto nv = dag.Neighbors(v);
+          std::size_t i = 0, j = 0;
+          while (i < nu.size() && j < nv.size()) {
+            if (nu[i] < nv[j]) {
+              ++i;
+            } else if (nu[i] > nv[j]) {
+              ++j;
+            } else {
+              ++total;
+              ++i;
+              ++j;
+            }
+          }
         }
-      }
-    }
-  }
-  return total;
+      },
+      [](std::uint64_t& into, std::uint64_t from) { into += from; });
 }
 
 namespace {
@@ -62,20 +64,24 @@ double GlobalClusteringCoefficient(const Graph& g) {
 double AverageLocalClusteringCoefficient(const Graph& g) {
   const NodeId n = g.NumNodes();
   if (n == 0) return 0;
-  double sum = 0;
-#pragma omp parallel for schedule(dynamic, 256) reduction(+ : sum)
-  for (NodeId u = 0; u < n; ++u) {
-    const auto nbrs = g.Neighbors(u);
-    if (nbrs.size() < 2) continue;
-    std::uint64_t closed = 0;
-    for (std::size_t i = 0; i < nbrs.size(); ++i)
-      for (std::size_t j = i + 1; j < nbrs.size(); ++j)
-        if (g.HasEdge(nbrs[i], nbrs[j])) ++closed;
-    const double possible =
-        static_cast<double>(nbrs.size()) *
-        static_cast<double>(nbrs.size() - 1) / 2.0;
-    sum += static_cast<double>(closed) / possible;
-  }
+  ExecOptions exec_options;
+  exec_options.grain = 256;
+  const double sum = ParallelReduce(
+      n, exec_options, 0.0,
+      [&g](double& acc, std::size_t idx) {
+        const auto u = static_cast<NodeId>(idx);
+        const auto nbrs = g.Neighbors(u);
+        if (nbrs.size() < 2) return;
+        std::uint64_t closed = 0;
+        for (std::size_t i = 0; i < nbrs.size(); ++i)
+          for (std::size_t j = i + 1; j < nbrs.size(); ++j)
+            if (g.HasEdge(nbrs[i], nbrs[j])) ++closed;
+        const double possible =
+            static_cast<double>(nbrs.size()) *
+            static_cast<double>(nbrs.size() - 1) / 2.0;
+        acc += static_cast<double>(closed) / possible;
+      },
+      [](double& into, double from) { into += from; });
   return sum / static_cast<double>(n);
 }
 

@@ -1,12 +1,11 @@
 #include "approx/approx_count.h"
 
-#include <omp.h>
-
 #include <algorithm>
 #include <cmath>
 #include <stdexcept>
 #include <vector>
 
+#include "exec/executor.h"
 #include "graph/builder.h"
 #include "graph/dag.h"
 #include "order/degree_order.h"
@@ -77,23 +76,31 @@ ApproxCountResult ApproxCountKCliques(const Graph& dag, std::uint32_t k,
   // Exact per-root counts for the sampled roots.
   const std::uint32_t bound = static_cast<std::uint32_t>(dag.MaxDegree()) + 1;
   const BinomialTable binom(bound + 1);
-  const int threads =
-      config.num_threads > 0 ? config.num_threads : omp_get_max_threads();
   std::vector<double> counts(samples.size(), 0.0);
-#pragma omp parallel num_threads(threads)
-  {
-    PivotCounter<RemapSubgraph, NoStats> counter(
-        dag, CountMode::kSingleK, k, /*per_vertex=*/false, bound, &binom);
-#pragma omp for schedule(dynamic, 16) nowait
-    for (std::size_t i = 0; i < samples.size(); ++i) {
-      // Per-root delta of the accumulating counter; stored as double
-      // (precision loss starts beyond 2^53 per root, where the estimator's
-      // relative error is negligible anyway).
-      const uint128 before = counter.total().value();
-      counter.ProcessRoot(samples[i].root);
-      counts[i] = ToDouble(counter.total().value() - before);
-    }
-  }
+  ExecOptions exec_options;
+  exec_options.num_threads = config.num_threads;
+  exec_options.grain = 16;
+  exec_options.cost = [&](std::size_t i) {
+    const auto d =
+        static_cast<double>(dag.Degree(samples[i].root));
+    return (d + 1) * (d + 1);
+  };
+  ParallelForWorkers(
+      samples.size(), exec_options,
+      [&](int) {
+        return PivotCounter<RemapSubgraph, NoStats>(
+            dag, CountMode::kSingleK, k, /*per_vertex=*/false, bound,
+            &binom);
+      },
+      [&](PivotCounter<RemapSubgraph, NoStats>& counter, std::size_t i) {
+        // Per-root delta of the accumulating counter; stored as double
+        // (precision loss starts beyond 2^53 per root, where the
+        // estimator's relative error is negligible anyway).
+        const uint128 before = counter.total().value();
+        counter.ProcessRoot(samples[i].root);
+        counts[i] = ToDouble(counter.total().value() - before);
+      },
+      [](PivotCounter<RemapSubgraph, NoStats>&) {});
 
   // Horvitz-Thompson per stratum: estimate_s = N_s * mean_s; variance via
   // within-stratum sample variance with finite-population correction.

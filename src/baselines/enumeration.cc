@@ -1,11 +1,10 @@
 #include "baselines/enumeration.h"
 
-#include <omp.h>
-
 #include <atomic>
 #include <stdexcept>
 #include <vector>
 
+#include "exec/executor.h"
 #include "util/timer.h"
 
 namespace pivotscale {
@@ -90,8 +89,6 @@ EnumerationResult CountCliquesEnumeration(const Graph& dag,
     throw std::invalid_argument("CountCliquesEnumeration: k must be >= 1");
 
   const NodeId n = dag.NumNodes();
-  const int threads =
-      options.num_threads > 0 ? options.num_threads : omp_get_max_threads();
 
   Timer timer;
   std::atomic<bool> timed_out{false};
@@ -104,18 +101,29 @@ EnumerationResult CountCliquesEnumeration(const Graph& dag,
     return timed_out.load(std::memory_order_relaxed);
   };
 
-  BigCount total{};
-#pragma omp parallel num_threads(threads)
-  {
-    EnumWorker worker(dag, options.k);
+  // Worker state: the kclist labeling engine plus this worker's partial
+  // total, merged serially after the region.
+  struct Worker {
+    Worker(const Graph& graph, std::uint32_t k) : engine(graph, k) {}
+    EnumWorker engine;
     BigCount local{};
-#pragma omp for schedule(dynamic, 64) nowait
-    for (NodeId v = 0; v < n; ++v) {
-      if (!deadline_hit()) local += worker.ProcessRoot(v, deadline_hit);
-    }
-#pragma omp critical(enum_reduce)
-    total += local;
-  }
+  };
+
+  BigCount total{};
+  ExecOptions exec_options;
+  exec_options.num_threads = options.num_threads;
+  exec_options.grain = 64;
+  exec_options.cost = [&dag](std::size_t v) {
+    return static_cast<double>(dag.Degree(static_cast<NodeId>(v)) + 1);
+  };
+  ParallelForWorkers(
+      n, exec_options, [&](int) { return Worker(dag, options.k); },
+      [&deadline_hit](Worker& w, std::size_t v) {
+        if (!deadline_hit())
+          w.local += w.engine.ProcessRoot(static_cast<NodeId>(v),
+                                          deadline_hit);
+      },
+      [&total](Worker& w) { total += w.local; });
 
   EnumerationResult result;
   result.timed_out = timed_out.load();

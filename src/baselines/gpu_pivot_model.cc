@@ -1,11 +1,10 @@
 #include "baselines/gpu_pivot_model.h"
 
-#include <omp.h>
-
 #include <bit>
 #include <stdexcept>
 #include <vector>
 
+#include "exec/executor.h"
 #include "util/binomial.h"
 #include "util/flat_hash.h"
 #include "util/timer.h"
@@ -164,24 +163,33 @@ GpuPivotModelResult CountCliquesGpuPivotModel(const Graph& dag,
   const NodeId n = dag.NumNodes();
   const std::uint32_t bound = static_cast<std::uint32_t>(dag.MaxDegree()) + 1;
   const BinomialTable binom(bound + 1);
-  const int threads =
-      num_threads > 0 ? num_threads : omp_get_max_threads();
+
+  struct Worker {
+    Worker(const Graph& graph, std::uint32_t k_arg,
+           const BinomialTable* binom_arg)
+        : engine(graph, k_arg, binom_arg) {}
+    GpuPivotWorker engine;
+    BigCount local{};
+  };
 
   Timer timer;
   GpuPivotModelResult result;
   BigCount total{};
-#pragma omp parallel num_threads(threads)
-  {
-    GpuPivotWorker worker(dag, k, &binom);
-    BigCount local{};
-#pragma omp for schedule(dynamic, 64) nowait
-    for (NodeId v = 0; v < n; ++v) local += worker.ProcessRoot(v);
-#pragma omp critical(gpu_pivot_reduce)
-    {
-      total += local;
-      result.workspace_bytes += worker.WorkspaceBytes();
-    }
-  }
+  ExecOptions exec_options;
+  exec_options.num_threads = num_threads;
+  exec_options.grain = 64;
+  exec_options.cost = [&dag](std::size_t v) {
+    return static_cast<double>(dag.Degree(static_cast<NodeId>(v)) + 1);
+  };
+  ParallelForWorkers(
+      n, exec_options, [&](int) { return Worker(dag, k, &binom); },
+      [](Worker& w, std::size_t v) {
+        w.local += w.engine.ProcessRoot(static_cast<NodeId>(v));
+      },
+      [&](Worker& w) {
+        total += w.local;
+        result.workspace_bytes += w.engine.WorkspaceBytes();
+      });
   result.total = total;
   result.seconds = timer.Seconds();
   return result;

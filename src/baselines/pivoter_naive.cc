@@ -1,7 +1,6 @@
 #include "baselines/pivoter_naive.h"
 
-#include <omp.h>
-
+#include "exec/executor.h"
 #include "graph/dag.h"
 #include "order/core_order.h"
 #include "pivot/count.h"
@@ -22,23 +21,30 @@ PivoterNaiveResult RunPivoterNaive(const Graph& g, std::uint32_t k,
   result.max_out_degree = MaxOutDegree(dag);
   result.ordering_seconds = phases.Stop("ordering");
 
-  // Counting: dense structure, static schedule — the naive parallelization.
+  // Counting: dense structure, one contiguous block per worker
+  // (chunks_per_worker = 1 reproduces a static partition), no cost model —
+  // the naive parallelization this baseline exists to demonstrate.
   const NodeId n = dag.NumNodes();
   const std::uint32_t bound = static_cast<std::uint32_t>(dag.MaxDegree()) + 1;
   const BinomialTable binom(bound + 1);
-  const int threads =
-      num_threads > 0 ? num_threads : omp_get_max_threads();
 
   BigCount total{};
-#pragma omp parallel num_threads(threads)
-  {
-    PivotCounter<DenseSubgraph, NoStats> counter(
-        dag, CountMode::kSingleK, k, /*per_vertex=*/false, bound, &binom);
-#pragma omp for schedule(static) nowait
-    for (NodeId v = 0; v < n; ++v) counter.ProcessRoot(v);
-#pragma omp critical(pivoter_naive_reduce)
-    total += counter.total();
-  }
+  ExecOptions exec_options;
+  exec_options.num_threads = num_threads;
+  exec_options.chunks_per_worker = 1;
+  ParallelForWorkers(
+      n, exec_options,
+      [&](int) {
+        return PivotCounter<DenseSubgraph, NoStats>(
+            dag, CountMode::kSingleK, k, /*per_vertex=*/false, bound,
+            &binom);
+      },
+      [](PivotCounter<DenseSubgraph, NoStats>& counter, std::size_t v) {
+        counter.ProcessRoot(static_cast<NodeId>(v));
+      },
+      [&total](PivotCounter<DenseSubgraph, NoStats>& counter) {
+        total += counter.total();
+      });
   result.total = total;
   result.counting_seconds = phases.Stop("counting");
   result.total_seconds = phases.TotalSeconds();

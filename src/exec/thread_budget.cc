@@ -1,0 +1,66 @@
+#include "exec/thread_budget.h"
+
+#include <omp.h>
+
+#include <algorithm>
+
+#include "util/check.h"
+
+namespace pivotscale {
+
+void ThreadLease::Release() {
+  if (budget_ != nullptr) budget_->Release(threads_);
+  budget_ = nullptr;
+  threads_ = 0;
+}
+
+ThreadBudget::ThreadBudget(int capacity) : capacity_(capacity) {
+  if (capacity_ <= 0) {
+    // omp_get_max_threads() inside an active region reports the nested
+    // default (1 with nesting disabled), which would pin the budget of the
+    // whole process to a single thread forever.
+    capacity_ = omp_in_parallel() ? omp_get_num_procs()
+                                  : omp_get_max_threads();
+  }
+  capacity_ = std::max(1, capacity_);
+}
+
+ThreadBudget& ThreadBudget::Global() {
+  static ThreadBudget budget;
+  return budget;
+}
+
+ThreadLease ThreadBudget::Acquire(int requested) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const int want =
+      requested > 0 ? std::min(requested, capacity_) : capacity_;
+  const int free = std::max(1, capacity_ - in_use_);  // min-1 progress
+  const int granted = std::min(want, free);
+  DCHECK_GE(granted, 1);
+  in_use_ += granted;
+  return ThreadLease(this, granted);
+}
+
+int ThreadBudget::capacity() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return capacity_;
+}
+
+int ThreadBudget::in_use() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return in_use_;
+}
+
+void ThreadBudget::SetCapacity(int capacity) {
+  CHECK_GE(capacity, 1) << "ThreadBudget capacity must be positive";
+  std::lock_guard<std::mutex> lock(mutex_);
+  capacity_ = capacity;
+}
+
+void ThreadBudget::Release(int threads) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  in_use_ -= threads;
+  DCHECK_GE(in_use_, 0);
+}
+
+}  // namespace pivotscale

@@ -1,10 +1,9 @@
 #include "graph/dag.h"
 
-#include <omp.h>
-
 #include <stdexcept>
 #include <vector>
 
+#include "exec/executor.h"
 #include "util/check.h"
 #include "util/prefix_sum.h"
 #include "util/telemetry.h"
@@ -29,8 +28,10 @@ Graph Directionalize(const Graph& g, std::span<const NodeId> ranks,
     throw std::invalid_argument("Directionalize: ranks not a permutation");
 
   std::vector<EdgeId> out_degrees(n, 0);
-#pragma omp parallel for schedule(dynamic, 1024)
-  for (NodeId u = 0; u < n; ++u) {
+  ExecOptions exec_options;
+  exec_options.grain = 1024;
+  ParallelFor(n, exec_options, [&](std::size_t i) {
+    const auto u = static_cast<NodeId>(i);
     EdgeId deg = 0;
     for (NodeId v : g.Neighbors(u)) {
       // Always-on range check: an out-of-range neighbor here would index
@@ -42,27 +43,29 @@ Graph Directionalize(const Graph& g, std::span<const NodeId> ranks,
       if (ranks[u] < ranks[v]) ++deg;
     }
     out_degrees[u] = deg;
-  }
+  });
 
   std::vector<EdgeId> offsets;
   const EdgeId total = ParallelPrefixSum(out_degrees, &offsets);
   offsets.push_back(total);
 
   std::vector<NodeId> neighbors(total);
-  std::uint64_t edge_flips = 0;
-#pragma omp parallel for schedule(dynamic, 1024) reduction(+ : edge_flips)
-  for (NodeId u = 0; u < n; ++u) {
-    EdgeId pos = offsets[u];
-    for (NodeId v : g.Neighbors(u))
-      if (ranks[u] < ranks[v]) {
-        DCHECK_LT(pos, offsets[u + 1]);
-        neighbors[pos++] = v;
-        if (u > v) ++edge_flips;
-      }
-    // Both passes must agree on each row's out-degree or the CSR rows
-    // would overlap.
-    DCHECK_EQ(pos, offsets[u + 1]);
-  }
+  const std::uint64_t edge_flips = ParallelReduce(
+      n, exec_options, std::uint64_t{0},
+      [&](std::uint64_t& flips, std::size_t i) {
+        const auto u = static_cast<NodeId>(i);
+        EdgeId pos = offsets[u];
+        for (NodeId v : g.Neighbors(u))
+          if (ranks[u] < ranks[v]) {
+            DCHECK_LT(pos, offsets[u + 1]);
+            neighbors[pos++] = v;
+            if (u > v) ++flips;
+          }
+        // Both passes must agree on each row's out-degree or the CSR rows
+        // would overlap.
+        DCHECK_EQ(pos, offsets[u + 1]);
+      },
+      [](std::uint64_t& into, std::uint64_t from) { into += from; });
 
   Graph dag(std::move(offsets), std::move(neighbors),
             /*undirected=*/false);

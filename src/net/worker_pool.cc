@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <map>
 
+#include "exec/thread_budget.h"
 #include "service/protocol.h"
 #include "util/check.h"
 #include "util/telemetry.h"
@@ -79,7 +80,13 @@ WorkerPool::WorkerPool(
       on_complete_(std::move(on_complete)) {
   CHECK(engine_ != nullptr) << "WorkerPool needs a QueryEngine";
   CHECK(on_complete_) << "WorkerPool needs a completion callback";
-  options_.workers = std::max(1, options_.workers);
+  // Serving concurrency draws from the same machine as counting: cap the
+  // worker count at the shared budget's capacity so `workers` x counting
+  // threads cannot be provisioned past the core count. Each worker's
+  // counting runs then acquire their threads as executor leases, which
+  // shrink dynamically when several workers count at once.
+  options_.workers = std::clamp(options_.workers, 1,
+                                ThreadBudget::Global().capacity());
   options_.queue_depth = std::max<std::size_t>(1, options_.queue_depth);
   workers_.reserve(static_cast<std::size_t>(options_.workers));
   for (int w = 0; w < options_.workers; ++w)

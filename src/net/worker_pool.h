@@ -72,7 +72,11 @@ std::string ServeNetBatch(QueryEngine& engine,
 
 struct WorkerPoolOptions {
   std::size_t queue_depth = 64;  // max batches waiting (not running)
-  int workers = 2;               // fixed worker-thread count (>= 1)
+  // Fixed worker-thread count. Clamped at construction to
+  // [1, ThreadBudget::Global().capacity()] so serving concurrency and
+  // per-run counting threads draw from one machine-wide budget (see
+  // exec/thread_budget.h and docs/parallelism.md).
+  int workers = 2;
   TelemetryRegistry* telemetry = nullptr;  // not owned; may be null
 };
 

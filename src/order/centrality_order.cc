@@ -1,10 +1,10 @@
 #include "order/centrality_order.h"
 
-#include <omp.h>
-
 #include <algorithm>
 #include <cmath>
 #include <stdexcept>
+
+#include "exec/executor.h"
 
 namespace pivotscale {
 
@@ -15,34 +15,36 @@ Ordering CentralityOrdering(const Graph& g, int iterations) {
   std::vector<double> score(n, 1.0), next(n, 0.0);
 
   for (int it = 0; it < iterations; ++it) {
-    double max_score = 0.0;
-#pragma omp parallel for schedule(dynamic, 1024) \
-    reduction(max : max_score)
-    for (NodeId u = 0; u < n; ++u) {
-      double sum = 0.0;
-      for (NodeId v : g.Neighbors(u)) sum += score[v];
-      next[u] = sum;
-      max_score = std::max(max_score, sum);
-    }
+    ExecOptions sum_options;
+    sum_options.grain = 1024;
+    const double max_score = ParallelReduce(
+        n, sum_options, 0.0,
+        [&](double& max_so_far, std::size_t i) {
+          const auto u = static_cast<NodeId>(i);
+          double sum = 0.0;
+          for (NodeId v : g.Neighbors(u)) sum += score[v];
+          next[u] = sum;
+          max_so_far = std::max(max_so_far, sum);
+        },
+        [](double& into, double from) { into = std::max(into, from); });
     // Rescale so repeated iterations cannot overflow; relative order is
     // unaffected, which is all the ranking needs.
     const double inv = max_score > 0 ? 1.0 / max_score : 1.0;
-#pragma omp parallel for schedule(static)
-    for (NodeId u = 0; u < n; ++u) next[u] *= inv;
+    ParallelFor(n, ExecOptions{}, [&](std::size_t u) { next[u] *= inv; });
     std::swap(score, next);
   }
 
   // Quantize score to 32 bits for the packed key; tiebreak by original
   // degree then id like every other approximation in this suite.
   std::vector<std::uint64_t> keys(n);
-#pragma omp parallel for schedule(static)
-  for (NodeId u = 0; u < n; ++u) {
+  ParallelFor(n, ExecOptions{}, [&](std::size_t i) {
+    const auto u = static_cast<NodeId>(i);
     const auto q = static_cast<std::uint64_t>(
         std::min(1.0, std::max(0.0, score[u])) * 4294967295.0);
     keys[u] = (q << 24) |
               std::min<std::uint64_t>(g.Degree(u),
                                       (std::uint64_t{1} << 24) - 1);
-  }
+  });
   return {"centrality(iters=" + std::to_string(iterations) + ")",
           RanksFromKeys(keys)};
 }

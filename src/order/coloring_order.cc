@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <numeric>
 
+#include "exec/executor.h"
+
 namespace pivotscale {
 
 std::vector<NodeId> GreedyColoring(const Graph& g) {
@@ -36,7 +38,10 @@ Ordering ColoringOrdering(const Graph& g) {
   const NodeId n = g.NumNodes();
   const std::vector<NodeId> color = GreedyColoring(g);
   std::vector<std::uint64_t> keys(n);
-  for (NodeId u = 0; u < n; ++u) keys[u] = PackKey(color[u], g.Degree(u));
+  ParallelFor(n, ExecOptions{}, [&](std::size_t i) {
+    const auto u = static_cast<NodeId>(i);
+    keys[u] = PackKey(color[u], g.Degree(u));
+  });
   return {"coloring", RanksFromKeys(keys)};
 }
 

@@ -1,14 +1,15 @@
 #include "order/degree_order.h"
 
-#include <omp.h>
+#include "exec/executor.h"
 
 namespace pivotscale {
 
 Ordering DegreeOrdering(const Graph& g) {
   const NodeId n = g.NumNodes();
   std::vector<std::uint64_t> keys(n);
-#pragma omp parallel for schedule(static)
-  for (NodeId u = 0; u < n; ++u) keys[u] = g.Degree(u);
+  ParallelFor(n, ExecOptions{}, [&](std::size_t u) {
+    keys[u] = g.Degree(static_cast<NodeId>(u));
+  });
   return {"degree", RanksFromKeys(keys)};
 }
 

@@ -1,9 +1,8 @@
 #include "order/heuristic.h"
 
-#include <omp.h>
-
 #include <algorithm>
 
+#include "exec/executor.h"
 #include "util/telemetry.h"
 #include "util/timer.h"
 
@@ -47,11 +46,6 @@ DegreeArgMax CombineArgMax(const DegreeArgMax& a, const DegreeArgMax& b) {
   return a;
 }
 
-#pragma omp declare reduction(                                       \
-        degree_argmax : DegreeArgMax : omp_out =                     \
-            CombineArgMax(omp_out, omp_in))                          \
-    initializer(omp_priv = DegreeArgMax{})
-
 }  // namespace
 
 HeuristicDecision SelectOrdering(const Graph& g,
@@ -66,10 +60,17 @@ HeuristicDecision SelectOrdering(const Graph& g,
   }
 
   // Probe 1: the highest-degree vertex (parallel max with id tiebreak).
-  DegreeArgMax best;
-#pragma omp parallel for schedule(static) reduction(degree_argmax : best)
-  for (NodeId u = 0; u < n; ++u)
-    best = CombineArgMax(best, {g.Degree(u), u, true});
+  // CombineArgMax is associative and commutative, so the partition into
+  // per-worker partials cannot change the winner.
+  const DegreeArgMax best = ParallelReduce(
+      n, ExecOptions{}, DegreeArgMax{},
+      [&g](DegreeArgMax& acc, std::size_t i) {
+        const auto u = static_cast<NodeId>(i);
+        acc = CombineArgMax(acc, {g.Degree(u), u, true});
+      },
+      [](DegreeArgMax& into, const DegreeArgMax& from) {
+        into = CombineArgMax(into, from);
+      });
   d.max_degree_vertex = best.id;
   d.max_degree = best.degree;
 

@@ -1,15 +1,41 @@
 #include "order/kcore_order.h"
 
-#include <omp.h>
+#include <atomic>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "exec/executor.h"
 
 namespace pivotscale {
+
+namespace {
+
+// Frontier collection: every worker gathers candidates into a private
+// vector (its reduction slot); the merge concatenates in worker order, so
+// the frontier layout is deterministic for a fixed team size.
+template <typename Keep>
+void CollectFrontier(std::size_t n, std::vector<NodeId>* frontier,
+                     Keep&& keep) {
+  ExecOptions exec_options;
+  ParallelForWorkers(
+      n, exec_options, [](int) { return std::vector<NodeId>(); },
+      [&keep](std::vector<NodeId>& local, std::size_t i) {
+        if (NodeId v; keep(i, &v)) local.push_back(v);
+      },
+      [frontier](std::vector<NodeId>& local) {
+        frontier->insert(frontier->end(), local.begin(), local.end());
+      });
+}
+
+}  // namespace
 
 std::vector<EdgeId> CoreDecomposition(const Graph& g, int* rounds_out) {
   const NodeId n = g.NumNodes();
   std::vector<std::int64_t> degree(n);
-#pragma omp parallel for schedule(static)
-  for (NodeId u = 0; u < n; ++u)
-    degree[u] = static_cast<std::int64_t>(g.Degree(u));
+  ParallelFor(n, ExecOptions{}, [&](std::size_t u) {
+    degree[u] = static_cast<std::int64_t>(g.Degree(static_cast<NodeId>(u)));
+  });
 
   std::vector<EdgeId> coreness(n, 0);
   std::vector<std::uint8_t> alive(n, 1);
@@ -23,15 +49,11 @@ std::vector<EdgeId> CoreDecomposition(const Graph& g, int* rounds_out) {
     // level (removing a degree-<=level vertex can push neighbors below the
     // threshold in the same level) — the PKC processing structure.
     frontier.clear();
-#pragma omp parallel
-    {
-      std::vector<NodeId> local;
-#pragma omp for schedule(static) nowait
-      for (NodeId u = 0; u < n; ++u)
-        if (alive[u] && degree[u] <= level) local.push_back(u);
-#pragma omp critical(kcore_merge)
-      frontier.insert(frontier.end(), local.begin(), local.end());
-    }
+    CollectFrontier(n, &frontier, [&](std::size_t i, NodeId* out) {
+      const auto u = static_cast<NodeId>(i);
+      *out = u;
+      return alive[u] != 0 && degree[u] <= level;
+    });
 
     ++rounds;  // the level-collection pass
     while (!frontier.empty()) {
@@ -43,25 +65,29 @@ std::vector<EdgeId> CoreDecomposition(const Graph& g, int* rounds_out) {
       removed_total += static_cast<NodeId>(frontier.size());
 
       next_frontier.clear();
-#pragma omp parallel
-      {
-        std::vector<NodeId> local;
-#pragma omp for schedule(dynamic, 64) nowait
-        for (std::size_t i = 0; i < frontier.size(); ++i) {
-          for (NodeId v : g.Neighbors(frontier[i])) {
-            if (!alive[v]) continue;
-            std::int64_t after;
-#pragma omp atomic capture
-            after = --degree[v];
-            // Exactly the decrement that lands on `level` crosses the
-            // peelable threshold, so each vertex enqueues once.
-            if (after == level) local.push_back(v);
-          }
-        }
-#pragma omp critical(kcore_merge)
-        next_frontier.insert(next_frontier.end(), local.begin(),
-                             local.end());
-      }
+      ExecOptions cascade_options;
+      cascade_options.grain = 64;
+      ParallelForWorkers(
+          frontier.size(), cascade_options,
+          [](int) { return std::vector<NodeId>(); },
+          [&](std::vector<NodeId>& local, std::size_t i) {
+            for (NodeId v : g.Neighbors(frontier[i])) {
+              if (!alive[v]) continue;
+              // Two frontier vertices can share the neighbor, hence the
+              // atomic decrement. Exactly the decrement that lands on
+              // `level` crosses the peelable threshold, so each vertex
+              // enqueues once.
+              const std::int64_t after =
+                  std::atomic_ref<std::int64_t>(degree[v])
+                      .fetch_sub(1, std::memory_order_relaxed) -
+                  1;
+              if (after == level) local.push_back(v);
+            }
+          },
+          [&next_frontier](std::vector<NodeId>& local) {
+            next_frontier.insert(next_frontier.end(), local.begin(),
+                                 local.end());
+          });
       std::swap(frontier, next_frontier);
     }
     ++level;
@@ -74,9 +100,10 @@ Ordering KCoreOrdering(const Graph& g, int* rounds_out) {
   const NodeId n = g.NumNodes();
   const std::vector<EdgeId> coreness = CoreDecomposition(g, rounds_out);
   std::vector<std::uint64_t> keys(n);
-#pragma omp parallel for schedule(static)
-  for (NodeId u = 0; u < n; ++u)
+  ParallelFor(n, ExecOptions{}, [&](std::size_t i) {
+    const auto u = static_cast<NodeId>(i);
     keys[u] = PackKey(coreness[u], g.Degree(u));
+  });
   return {"kcore", RanksFromKeys(keys)};
 }
 

@@ -1,9 +1,10 @@
 #include "pivot/count.h"
 
-#include <omp.h>
-
+#include <algorithm>
 #include <stdexcept>
+#include <utility>
 
+#include "exec/executor.h"
 #include "pivot/subgraph_dense.h"
 #include "pivot/subgraph_remap.h"
 #include "pivot/subgraph_sparse.h"
@@ -28,30 +29,36 @@ std::string SubgraphKindName(SubgraphKind kind) {
 
 namespace {
 
-// Dynamic-schedule chunk sizes, shared between the pragmas and the chunk
-// accounting (a chunk starts exactly at loop indices divisible by the
-// chunk size, since both loops start at 0).
-constexpr NodeId kRootChunk = 16;
-constexpr NodeId kEdgeOwnerChunk = 64;
+// Edge subtasks from one split root cover at most this many out-edges
+// each, so a mega-hub becomes many independently schedulable slices.
+constexpr std::uint32_t kEdgeSliceLen = 32;
+
+// One schedulable unit: a whole root, or — after a long-tail split — a
+// slice [edge_begin, edge_end) of the root's out-edges.
+struct CountTask {
+  NodeId root = 0;
+  std::uint32_t edge_begin = kWholeRoot;
+  std::uint32_t edge_end = 0;
+
+  static constexpr std::uint32_t kWholeRoot = 0xffffffffu;
+};
 
 // Dumps one finished driver run into the registry: per-thread series, op
 // totals, and load-balance gauges. `items` is the number of top-level work
 // items under `item_counter` ("count.roots" / "count.edge_owners").
 void RecordCountTelemetry(TelemetryRegistry* telemetry,
                           const CountResult& result,
-                          const std::vector<std::uint64_t>& thread_chunks,
-                          std::uint64_t items, const char* item_counter) {
+                          const ExecStats& exec_stats, std::uint64_t items,
+                          const char* item_counter) {
   if (telemetry == nullptr) return;
   telemetry->SetSeries("count.thread_busy_seconds",
                        result.thread_busy_seconds);
-  std::vector<double> chunk_series(thread_chunks.size());
-  std::uint64_t total_chunks = 0;
-  for (std::size_t t = 0; t < thread_chunks.size(); ++t) {
-    chunk_series[t] = static_cast<double>(thread_chunks[t]);
-    total_chunks += thread_chunks[t];
-  }
+  std::vector<double> chunk_series(exec_stats.worker_chunks.size());
+  for (std::size_t t = 0; t < exec_stats.worker_chunks.size(); ++t)
+    chunk_series[t] = static_cast<double>(exec_stats.worker_chunks[t]);
   telemetry->SetSeries("count.thread_chunks", std::move(chunk_series));
-  telemetry->AddCounter("count.chunks", total_chunks);
+  telemetry->AddCounter("count.chunks", exec_stats.chunks);
+  telemetry->AddCounter("count.splits", exec_stats.splits);
   telemetry->AddCounter(item_counter, items);
   telemetry->AddCounter("count.recursion_calls", result.ops.calls);
   telemetry->AddCounter("count.edge_ops", result.ops.edge_ops);
@@ -66,105 +73,134 @@ void RecordCountTelemetry(TelemetryRegistry* telemetry,
   telemetry->RecordSpan("count.wall", result.seconds);
 }
 
-// The driver body, instantiated per (structure, stats policy) pair.
+// The driver body, instantiated per (structure, stats policy) pair. One
+// exec-layer region over the task list; each worker owns a PivotCounter
+// (its reduction slot) and the merge runs serially after the region.
 template <typename SG, typename Stats>
-CountResult Run(const Graph& dag, const CountOptions& options) {
+CountResult Run(const Graph& dag, const CountOptions& options,
+                const char* item_counter) {
+  // Long-tail splitting needs first-level pair builds, which only the
+  // remap structure implements.
+  constexpr bool kCanSplit =
+      requires(SG sg, NodeId a, NodeId b) { sg.BuildPair(a, b); };
+
   const NodeId n = dag.NumNodes();
-  const auto max_out =
-      static_cast<std::uint32_t>(dag.MaxDegree());
+  const auto max_out = static_cast<std::uint32_t>(dag.MaxDegree());
   const std::uint32_t bound = max_out + 1;
   const BinomialTable binom(bound + 1);
-
-  const int requested_threads =
-      options.num_threads > 0 ? options.num_threads : omp_get_max_threads();
 
   CountResult result;
   result.per_size.assign(bound + 2, BigCount{});
   if (options.per_vertex) result.per_vertex.assign(n, BigCount{});
   if (options.collect_work_trace) result.work_trace.roots.resize(n);
-  // Per-thread slots are sized inside the region: OpenMP may deliver fewer
-  // threads than requested, and phantom zero entries would dilute the
-  // imbalance stats.
-  std::vector<std::uint64_t> thread_chunks;
 
-  Timer total_timer;
-#pragma omp parallel num_threads(requested_threads)
-  {
-    const int tid = omp_get_thread_num();
-    PivotCounter<SG, Stats> counter(dag, options.mode, options.k,
-                                    options.per_vertex, bound, &binom,
-                                    options.early_termination);
-#pragma omp single
-    {
-      const int team = omp_get_num_threads();
-      result.thread_busy_seconds.assign(team, 0.0);
-      thread_chunks.assign(team, 0);
-    }
-    // (single's implicit barrier: every thread sees the sized arrays)
-    CHECK_LT(static_cast<std::size_t>(tid),
-             result.thread_busy_seconds.size())
-        << "count: OpenMP delivered a thread id outside the sized team";
-    std::uint64_t chunks = 0;
-    Timer busy_timer;
-
-#pragma omp for schedule(dynamic, kRootChunk) nowait
-    for (NodeId v = 0; v < n; ++v) {
-      if (v % kRootChunk == 0) ++chunks;
-      if (options.collect_work_trace) {
-        const std::uint64_t ops_before = counter.stats().Snapshot().edge_ops;
-        Timer root_timer;
-        counter.ProcessRoot(v);
-        result.work_trace.roots[v] = {
-            v, root_timer.Nanos(),
-            counter.stats().Snapshot().edge_ops - ops_before,
-            dag.Degree(v)};
-      } else {
-        counter.ProcessRoot(v);
+  // Task list: one task per root; a root whose estimated work
+  // (out_degree + 1)^2 exceeds the split threshold is decomposed into
+  // edge slices. The estimates double as the chunking cost model.
+  const bool may_split = kCanSplit && !options.collect_work_trace &&
+                         options.split_threshold != kNeverSplit;
+  std::vector<CountTask> tasks;
+  tasks.reserve(n);
+  std::vector<double> costs;
+  costs.reserve(n);
+  std::uint64_t splits = 0;
+  for (NodeId v = 0; v < n; ++v) {
+    const auto d = static_cast<std::uint64_t>(dag.Degree(v));
+    const std::uint64_t estimate = (d + 1) * (d + 1);
+    if (may_split && d > 0 && estimate > options.split_threshold) {
+      ++splits;
+      const auto deg = static_cast<std::uint32_t>(d);
+      for (std::uint32_t b = 0; b < deg; b += kEdgeSliceLen) {
+        const std::uint32_t e = std::min(deg, b + kEdgeSliceLen);
+        tasks.push_back({v, b, e});
+        costs.push_back(static_cast<double>((d + 1) * (e - b + 1)));
       }
-    }
-    result.thread_busy_seconds[tid] = busy_timer.Seconds();
-    thread_chunks[tid] = chunks;
-
-    // Reduce per-thread counters. Each reduction target is guarded; the
-    // critical sections are tiny next to the counting work.
-#pragma omp critical(count_reduce)
-    {
-      result.total += counter.total();
-      if (options.mode != CountMode::kSingleK) {
-        const auto& sizes = counter.per_size();
-        CHECK_LE(sizes.size(), result.per_size.size())
-            << "count: per-thread per-size table outgrew the result table";
-        for (std::size_t s = 0; s < sizes.size(); ++s)
-          result.per_size[s] += sizes[s];
-      }
-      if (options.per_vertex) {
-        const auto& pv = counter.per_vertex_counts();
-        CHECK_EQ(pv.size(), result.per_vertex.size());
-        for (NodeId v = 0; v < n; ++v) result.per_vertex[v] += pv[v];
-      }
-      result.ops += counter.stats().Snapshot();
-      result.workspace_bytes += counter.WorkspaceBytes();
+    } else {
+      tasks.push_back({v, CountTask::kWholeRoot, 0});
+      costs.push_back(static_cast<double>(estimate));
     }
   }
-  result.seconds = total_timer.Seconds();
+
+  ExecOptions exec_options;
+  exec_options.num_threads = options.num_threads;
+  exec_options.chunks_per_worker = 16;
+  exec_options.cost = [&costs](std::size_t i) { return costs[i]; };
+  exec_options.splits = splits;
+  exec_options.telemetry = options.telemetry;
+
+  const ExecStats exec_stats = ParallelForWorkers(
+      tasks.size(), exec_options,
+      [&](int) {
+        return PivotCounter<SG, Stats>(dag, options.mode, options.k,
+                                       options.per_vertex, bound, &binom,
+                                       options.early_termination);
+      },
+      [&](PivotCounter<SG, Stats>& counter, std::size_t ti) {
+        const CountTask& task = tasks[ti];
+        if (task.edge_begin == CountTask::kWholeRoot) {
+          if (options.collect_work_trace) {
+            const std::uint64_t ops_before =
+                counter.stats().Snapshot().edge_ops;
+            Timer root_timer;
+            counter.ProcessRoot(task.root);
+            result.work_trace.roots[task.root] = {
+                task.root, root_timer.Nanos(),
+                counter.stats().Snapshot().edge_ops - ops_before,
+                dag.Degree(task.root)};
+          } else {
+            counter.ProcessRoot(task.root);
+          }
+          return;
+        }
+        if constexpr (kCanSplit) {
+          // The first slice also accounts the owner's singleton clique,
+          // which the size->=2 edge decomposition cannot reach.
+          if (task.edge_begin == 0) counter.AddSingleton(task.root);
+          const auto neighbors = dag.Neighbors(task.root);
+          for (std::uint32_t j = task.edge_begin; j < task.edge_end; ++j)
+            counter.ProcessEdge(task.root, neighbors[j]);
+        }
+      },
+      [&](PivotCounter<SG, Stats>& counter) {
+        result.total += counter.total();
+        if (options.mode != CountMode::kSingleK) {
+          const auto& sizes = counter.per_size();
+          CHECK_LE(sizes.size(), result.per_size.size())
+              << "count: per-thread per-size table outgrew the result "
+                 "table";
+          for (std::size_t s = 0; s < sizes.size(); ++s)
+            result.per_size[s] += sizes[s];
+        }
+        if (options.per_vertex) {
+          const auto& pv = counter.per_vertex_counts();
+          CHECK_EQ(pv.size(), result.per_vertex.size());
+          for (NodeId v = 0; v < n; ++v) result.per_vertex[v] += pv[v];
+        }
+        result.ops += counter.stats().Snapshot();
+        result.workspace_bytes += counter.WorkspaceBytes();
+      });
+
+  result.seconds = exec_stats.seconds;
+  result.thread_busy_seconds = exec_stats.worker_busy_seconds;
 
   if (options.mode != CountMode::kSingleK) {
     result.total = options.k < result.per_size.size()
                        ? result.per_size[options.k]
                        : BigCount{};
   }
-  RecordCountTelemetry(options.telemetry, result, thread_chunks, n,
-                       "count.roots");
+  RecordCountTelemetry(options.telemetry, result, exec_stats, n,
+                       item_counter);
   return result;
 }
 
 template <typename SG>
-CountResult Dispatch(const Graph& dag, const CountOptions& options) {
+CountResult Dispatch(const Graph& dag, const CountOptions& options,
+                     const char* item_counter) {
   // Telemetry wants the op totals, so it rides the counting stats policy.
   if (options.collect_op_stats || options.collect_work_trace ||
       options.telemetry != nullptr)
-    return Run<SG, OpCountStats>(dag, options);
-  return Run<SG, NoStats>(dag, options);
+    return Run<SG, OpCountStats>(dag, options, item_counter);
+  return Run<SG, NoStats>(dag, options, item_counter);
 }
 
 }  // namespace
@@ -184,84 +220,10 @@ CountResult CountCliquesEdgeParallel(const Graph& dag,
   if (options.k < 1)
     throw std::invalid_argument("CountCliquesEdgeParallel: k must be >= 1");
 
-  const NodeId n = dag.NumNodes();
-  const std::uint32_t bound = static_cast<std::uint32_t>(dag.MaxDegree()) + 1;
-  const BinomialTable binom(bound + 1);
-  const int threads =
-      options.num_threads > 0 ? options.num_threads : omp_get_max_threads();
-
-  CountResult result;
-  result.per_size.assign(bound + 2, BigCount{});
-  if (options.per_vertex) result.per_vertex.assign(n, BigCount{});
-  std::vector<std::uint64_t> thread_chunks;
-
-  // Instantiated for both stats policies so collect_op_stats is honored.
-  auto run_edges = [&]<typename Stats>(Stats /*tag*/) {
-    Timer total_timer;
-#pragma omp parallel num_threads(threads)
-    {
-      const int tid = omp_get_thread_num();
-      PivotCounter<RemapSubgraph, Stats> counter(
-          dag, options.mode, options.k, options.per_vertex, bound, &binom,
-          options.early_termination);
-#pragma omp single
-      {
-        const int team = omp_get_num_threads();
-        result.thread_busy_seconds.assign(team, 0.0);
-        thread_chunks.assign(team, 0);
-      }
-      CHECK_LT(static_cast<std::size_t>(tid),
-               result.thread_busy_seconds.size())
-          << "count: OpenMP delivered a thread id outside the sized team";
-      std::uint64_t chunks = 0;
-      Timer busy_timer;
-#pragma omp for schedule(dynamic, kEdgeOwnerChunk) nowait
-      for (NodeId u = 0; u < n; ++u) {
-        if (u % kEdgeOwnerChunk == 0) ++chunks;
-        for (NodeId v : dag.Neighbors(u)) counter.ProcessEdge(u, v);
-      }
-      result.thread_busy_seconds[tid] = busy_timer.Seconds();
-      thread_chunks[tid] = chunks;
-#pragma omp critical(edge_count_reduce)
-      {
-        result.total += counter.total();
-        if (options.mode != CountMode::kSingleK) {
-          const auto& sizes = counter.per_size();
-          CHECK_LE(sizes.size(), result.per_size.size())
-              << "count: per-thread per-size table outgrew the result table";
-          for (std::size_t s = 0; s < sizes.size(); ++s)
-            result.per_size[s] += sizes[s];
-        }
-        if (options.per_vertex) {
-          const auto& pv = counter.per_vertex_counts();
-          for (NodeId v = 0; v < n; ++v) result.per_vertex[v] += pv[v];
-        }
-        result.ops += counter.stats().Snapshot();
-        result.workspace_bytes += counter.WorkspaceBytes();
-      }
-    }
-    result.seconds = total_timer.Seconds();
-  };
-  if (options.collect_op_stats || options.telemetry != nullptr)
-    run_edges(OpCountStats{});
-  else
-    run_edges(NoStats{});
-
-  // The edge decomposition only reaches cliques of size >= 2; sizes are
-  // completed / dispatched the same way the vertex driver does it.
-  if (options.mode != CountMode::kSingleK) {
-    result.per_size[1] = BigCount{static_cast<uint128>(n)};
-    result.total = options.k < result.per_size.size()
-                       ? result.per_size[options.k]
-                       : BigCount{};
-  } else if (options.k == 1) {
-    result.total = BigCount{static_cast<uint128>(n)};
-    if (options.per_vertex)
-      for (NodeId v = 0; v < n; ++v) result.per_vertex[v] = BigCount{1};
-  }
-  RecordCountTelemetry(options.telemetry, result, thread_chunks, n,
-                       "count.edge_owners");
-  return result;
+  CountOptions edge_options = options;
+  edge_options.structure = SubgraphKind::kRemap;
+  edge_options.split_threshold = 0;  // split every root with out-edges
+  return Dispatch<RemapSubgraph>(dag, edge_options, "count.edge_owners");
 }
 
 CountResult CountCliques(const Graph& dag, const CountOptions& options) {
@@ -277,11 +239,11 @@ CountResult CountCliques(const Graph& dag, const CountOptions& options) {
 
   switch (options.structure) {
     case SubgraphKind::kDense:
-      return Dispatch<DenseSubgraph>(dag, options);
+      return Dispatch<DenseSubgraph>(dag, options, "count.roots");
     case SubgraphKind::kSparse:
-      return Dispatch<SparseSubgraph>(dag, options);
+      return Dispatch<SparseSubgraph>(dag, options, "count.roots");
     case SubgraphKind::kRemap:
-      return Dispatch<RemapSubgraph>(dag, options);
+      return Dispatch<RemapSubgraph>(dag, options, "count.roots");
   }
   throw std::invalid_argument("CountCliques: unknown subgraph structure");
 }

@@ -1,12 +1,14 @@
-// Vertex-parallel counting driver over a directionalized DAG.
+// The counting driver over a directionalized DAG.
 //
 // This is the counting phase of the pipeline: every root vertex of the DAG
-// is an independent work item (its induced subgraph is thread-local), so the
-// driver runs an OpenMP dynamic loop over roots with one PivotCounter per
-// thread and reduces the per-thread counters at the end. Options select the
+// is an independent work item (its induced subgraph is thread-local). The
+// driver builds a task list — one task per root, with heavy roots split
+// into first-level edge subtasks past `split_threshold` — and runs it on
+// the exec layer (src/exec/executor.h) with one PivotCounter per worker,
+// merging the per-worker counters serially at the end. Options select the
 // subgraph structure (dense / sparse / remap), the counting mode, per-vertex
 // attribution, operation-count instrumentation, and per-root work tracing
-// for the scaling study.
+// for the scaling study. See docs/parallelism.md.
 #ifndef PIVOTSCALE_PIVOT_COUNT_H_
 #define PIVOTSCALE_PIVOT_COUNT_H_
 
@@ -33,6 +35,14 @@ enum class SubgraphKind {
 
 std::string SubgraphKindName(SubgraphKind kind);
 
+// split_threshold value that disables long-tail root splitting entirely.
+inline constexpr std::uint64_t kNeverSplit =
+    ~static_cast<std::uint64_t>(0);
+// Default long-tail split threshold on the per-root work estimate
+// (out_degree + 1)^2: roots with out-degree above ~255 split.
+inline constexpr std::uint64_t kDefaultSplitThreshold =
+    std::uint64_t{1} << 16;
+
 struct CountOptions {
   std::uint32_t k = 8;
   CountMode mode = CountMode::kSingleK;
@@ -47,8 +57,18 @@ struct CountOptions {
   // Record per-root work for the scaling simulation; implies op stats and
   // adds a timer read per root.
   bool collect_work_trace = false;
-  // 0 = use the OpenMP default.
+  // 0 = lease everything the process thread budget has free
+  // (exec/thread_budget.h); explicit requests are also capped by the
+  // budget, so concurrent callers cannot oversubscribe the machine.
   int num_threads = 0;
+  // Long-tail root splitting (exec layer): a root whose work estimate
+  // (out_degree + 1)^2 exceeds this threshold is decomposed into
+  // first-level edge subtasks, each counting the cliques whose two
+  // lowest-ranked members are that DAG edge. Only the remap structure
+  // supports pair builds, and work-trace runs never split (work is
+  // attributed per root). 0 splits every root with out-edges (the full
+  // edge-parallel decomposition); kNeverSplit disables splitting.
+  std::uint64_t split_threshold = kDefaultSplitThreshold;
   // When non-null, the driver records "count.*" metrics into this registry:
   // per-thread busy-second and chunk-count series, work-item and dynamic-
   // chunk counters, recursion-op totals (implies op-stat collection), and
@@ -83,10 +103,12 @@ struct CountResult {
 CountResult CountCliques(const Graph& dag, const CountOptions& options);
 
 // Edge-parallel counting (GPU-Pivot's finer-grained work decomposition):
-// one work item per DAG edge — each item counts the cliques whose two
-// lowest-ranked members are that edge. Better load balance on skewed
-// graphs at the cost of one intersection per edge. Always uses the remap
-// structure; per-root work traces are not supported (work is per edge).
+// every root splits into its first-level edge subtasks — each counts the
+// cliques whose two lowest-ranked members are that edge. Better load
+// balance on skewed graphs at the cost of one intersection per edge.
+// Since the exec-layer refactor this is CountCliques with
+// split_threshold = 0 on the remap structure (the only one with pair
+// builds); per-root work traces are not supported (work is per edge).
 // k = 1 is answered directly (the vertex count).
 CountResult CountCliquesEdgeParallel(const Graph& dag,
                                      const CountOptions& options);

@@ -1,9 +1,8 @@
 #include "pivot/maximal.h"
 
-#include <omp.h>
-
 #include <algorithm>
 
+#include "exec/executor.h"
 #include "graph/dag.h"
 #include "order/core_order.h"
 #include "util/flat_hash.h"
@@ -146,36 +145,43 @@ MaximalCliqueStats CountMaximalCliques(const Graph& g, int num_threads) {
   Timer timer;
   const Ordering core = CoreOrdering(g);
   const NodeId n = g.NumNodes();
-  const int threads =
-      num_threads > 0 ? num_threads : omp_get_max_threads();
 
   MaximalCliqueStats stats;
   stats.by_size.assign(g.MaxDegree() + 2, BigCount{});
 
-#pragma omp parallel num_threads(threads)
-  {
-    BkWorker worker(g);
-    BigCount local_total{};
-    std::size_t local_largest = 0;
-    std::vector<BigCount> local_by_size(stats.by_size.size(), BigCount{});
-#pragma omp for schedule(dynamic, 64) nowait
-    for (NodeId v = 0; v < n; ++v) {
-      worker.ProcessRoot(v, core.ranks,
-                         [&](std::span<const NodeId> clique) {
-                           local_total += BigCount{1};
-                           local_largest =
-                               std::max(local_largest, clique.size());
-                           local_by_size[clique.size()] += BigCount{1};
+  // Per-worker reduction slot: the BK state plus this worker's partial
+  // totals, merged serially after the region.
+  struct Worker {
+    explicit Worker(const Graph& graph, std::size_t sizes)
+        : bk(graph), by_size(sizes, BigCount{}) {}
+    BkWorker bk;
+    BigCount total{};
+    std::size_t largest = 0;
+    std::vector<BigCount> by_size;
+  };
+
+  ExecOptions exec_options;
+  exec_options.num_threads = num_threads;
+  exec_options.cost = [&g](std::size_t v) {
+    return static_cast<double>(g.Degree(static_cast<NodeId>(v)) + 1);
+  };
+  ParallelForWorkers(
+      n, exec_options,
+      [&](int) { return Worker(g, stats.by_size.size()); },
+      [&core](Worker& w, std::size_t v) {
+        w.bk.ProcessRoot(static_cast<NodeId>(v), core.ranks,
+                         [&w](std::span<const NodeId> clique) {
+                           w.total += BigCount{1};
+                           w.largest = std::max(w.largest, clique.size());
+                           w.by_size[clique.size()] += BigCount{1};
                          });
-    }
-#pragma omp critical(maximal_reduce)
-    {
-      stats.total += local_total;
-      stats.largest = std::max(stats.largest, local_largest);
-      for (std::size_t s = 0; s < local_by_size.size(); ++s)
-        stats.by_size[s] += local_by_size[s];
-    }
-  }
+      },
+      [&stats](Worker& w) {
+        stats.total += w.total;
+        stats.largest = std::max(stats.largest, w.largest);
+        for (std::size_t s = 0; s < w.by_size.size(); ++s)
+          stats.by_size[s] += w.by_size[s];
+      });
   stats.seconds = timer.Seconds();
   return stats;
 }

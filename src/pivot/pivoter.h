@@ -96,6 +96,21 @@ class PivotCounter {
     if (per_vertex_) required_stack_.pop_back();
   }
 
+  // Accounts the singleton clique {u}. Used when a root task is split
+  // into edge subtasks: ProcessEdge only reaches cliques of size >= 2, so
+  // the split's owner contributes {u} exactly once through this call,
+  // mirroring what ProcessRoot's empty-candidate leaf would have counted.
+  void AddSingleton(NodeId u) {
+    if (mode_ == CountMode::kSingleK) {
+      if (k_ == 1) {
+        total_ += BigCount{1};
+        if (per_vertex_) per_vertex_counts_[u] += BigCount{1};
+      }
+      return;
+    }
+    per_size_[1] += BigCount{1};
+  }
+
   BigCount total() const { return total_; }
   // per_size()[s] = number of s-cliques (kAllK mode; index 0 unused).
   const std::vector<BigCount>& per_size() const { return per_size_; }

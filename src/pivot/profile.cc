@@ -1,10 +1,9 @@
 #include "pivot/profile.h"
 
-#include <omp.h>
-
 #include <algorithm>
 #include <stdexcept>
 
+#include "exec/executor.h"
 #include "pivot/subgraph_remap.h"
 #include "util/binomial.h"
 
@@ -165,24 +164,35 @@ CliqueProfile ComputeCliqueProfile(const Graph& dag, int num_threads) {
         "ComputeCliqueProfile: expected a directionalized DAG");
   const NodeId n = dag.NumNodes();
   const std::uint32_t bound = static_cast<std::uint32_t>(dag.MaxDegree()) + 1;
-  const int threads =
-      num_threads > 0 ? num_threads : omp_get_max_threads();
-
   std::vector<std::vector<std::uint64_t>> hist(
       bound + 1, std::vector<std::uint64_t>(bound + 1, 0));
 
-#pragma omp parallel num_threads(threads)
-  {
-    ProfileRecorder recorder(dag, bound);
-    std::vector<std::vector<std::uint64_t>> local(
-        bound + 1, std::vector<std::uint64_t>(bound + 1, 0));
-#pragma omp for schedule(dynamic, 16) nowait
-    for (NodeId v = 0; v < n; ++v) recorder.ProcessRoot(v, &local);
-#pragma omp critical(profile_reduce)
-    for (std::size_t r = 0; r <= bound; ++r)
-      for (std::size_t np = 0; np <= bound; ++np)
-        hist[r][np] += local[r][np];
-  }
+  // Per-worker reduction slot: the recorder plus its private 2-D leaf
+  // histogram, merged serially after the region.
+  struct Worker {
+    Worker(const Graph& graph, std::uint32_t clique_bound)
+        : recorder(graph, clique_bound),
+          local(clique_bound + 1,
+                std::vector<std::uint64_t>(clique_bound + 1, 0)) {}
+    ProfileRecorder recorder;
+    std::vector<std::vector<std::uint64_t>> local;
+  };
+
+  ExecOptions exec_options;
+  exec_options.num_threads = num_threads;
+  exec_options.cost = [&dag](std::size_t v) {
+    return static_cast<double>(dag.Degree(static_cast<NodeId>(v)) + 1);
+  };
+  ParallelForWorkers(
+      n, exec_options, [&](int) { return Worker(dag, bound); },
+      [](Worker& w, std::size_t v) {
+        w.recorder.ProcessRoot(static_cast<NodeId>(v), &w.local);
+      },
+      [&hist, bound](Worker& w) {
+        for (std::size_t r = 0; r <= bound; ++r)
+          for (std::size_t np = 0; np <= bound; ++np)
+            hist[r][np] += w.local[r][np];
+      });
   return CliqueProfile(std::move(hist));
 }
 

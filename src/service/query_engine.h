@@ -22,7 +22,11 @@
 // threads. The cache map has its own mutex; each artifact entry has a
 // mutex held while counting on that artifact, so concurrent batches on
 // one graph serialize (the second gets memo hits) while batches on
-// different graphs count in parallel, each using the OpenMP pool.
+// different graphs count in parallel. Each counting run goes through the
+// exec-layer scheduler, which leases its threads from the process-wide
+// ThreadBudget (exec/thread_budget.h): when several batches count at
+// once each run's team shrinks so the total stays within the machine,
+// rather than each run independently spinning up a full OpenMP pool.
 //
 // Telemetry (when a registry is configured): "service.batch" and
 // "service.count" spans, and counters "service.queries",
@@ -87,7 +91,9 @@ struct ServiceResult {
 struct QueryEngineOptions {
   // Cache byte budget over GraphArtifact::HeapBytes() of resident entries.
   std::size_t cache_byte_budget = std::size_t{1} << 30;
-  // Threads per counting run; 0 = the OpenMP default.
+  // Requested threads per counting run; 0 = whole machine. The realized
+  // team per run is whatever the shared ThreadBudget grants (at least 1),
+  // so concurrent runs divide the machine instead of oversubscribing it.
   int num_threads = 0;
   // Not owned; must outlive the engine.
   TelemetryRegistry* telemetry = nullptr;

@@ -44,21 +44,27 @@ std::int64_t ArgParser::GetInt(const std::string& name,
                                std::int64_t def) const {
   const auto it = flags_.find(name);
   if (it == flags_.end()) return def;
-  std::size_t pos = 0;
-  const std::int64_t v = std::stoll(it->second, &pos);
-  if (pos != it->second.size())
-    throw std::runtime_error("bad integer for --" + name + ": " + it->second);
-  return v;
+  // stoll itself throws invalid_argument/out_of_range on junk; fold every
+  // failure mode into the one flag-naming message.
+  try {
+    std::size_t pos = 0;
+    const std::int64_t v = std::stoll(it->second, &pos);
+    if (pos == it->second.size()) return v;
+  } catch (const std::exception&) {
+  }
+  throw std::runtime_error("bad integer for --" + name + ": " + it->second);
 }
 
 double ArgParser::GetDouble(const std::string& name, double def) const {
   const auto it = flags_.find(name);
   if (it == flags_.end()) return def;
-  std::size_t pos = 0;
-  const double v = std::stod(it->second, &pos);
-  if (pos != it->second.size())
-    throw std::runtime_error("bad double for --" + name + ": " + it->second);
-  return v;
+  try {
+    std::size_t pos = 0;
+    const double v = std::stod(it->second, &pos);
+    if (pos == it->second.size()) return v;
+  } catch (const std::exception&) {
+  }
+  throw std::runtime_error("bad double for --" + name + ": " + it->second);
 }
 
 bool ArgParser::GetBool(const std::string& name, bool def) const {
@@ -68,6 +74,16 @@ bool ArgParser::GetBool(const std::string& name, bool def) const {
   if (v == "true" || v == "1" || v == "yes" || v == "on") return true;
   if (v == "false" || v == "0" || v == "no" || v == "off") return false;
   throw std::runtime_error("bad boolean for --" + name + ": " + v);
+}
+
+int ArgParser::GetThreads(const std::string& name, int def) const {
+  if (!Has(name)) return def;
+  const std::int64_t v = GetInt(name, def);
+  if (v < 1 || v > kMaxThreadsFlag)
+    throw std::runtime_error(
+        "bad --" + name + ": " + std::to_string(v) + " (must be between 1 "
+        "and " + std::to_string(kMaxThreadsFlag) + ")");
+  return static_cast<int>(v);
 }
 
 std::vector<std::int64_t> ArgParser::GetIntList(
@@ -82,12 +98,18 @@ std::vector<std::int64_t> ArgParser::GetIntList(
     if (end == std::string::npos) end = s.size();
     const std::string token = s.substr(begin, end - begin);
     if (!token.empty()) {
-      std::size_t pos = 0;
-      const std::int64_t v = std::stoll(token, &pos);
-      if (pos != token.size())
-        throw std::runtime_error("bad list entry for --" + name + ": " +
-                                 token);
-      out.push_back(v);
+      try {
+        std::size_t pos = 0;
+        const std::int64_t v = std::stoll(token, &pos);
+        if (pos == token.size()) {
+          out.push_back(v);
+          begin = end + 1;
+          continue;
+        }
+      } catch (const std::exception&) {
+      }
+      throw std::runtime_error("bad list entry for --" + name + ": " +
+                               token);
     }
     begin = end + 1;
   }

@@ -14,6 +14,10 @@
 
 namespace pivotscale {
 
+// Largest value a thread-count flag accepts. Anything above this is a
+// typo (or a unit confusion), not a machine this code targets.
+inline constexpr int kMaxThreadsFlag = 4096;
+
 class ArgParser {
  public:
   // Parses argv. Unrecognized positional arguments are collected in
@@ -30,6 +34,14 @@ class ArgParser {
   std::int64_t GetInt(const std::string& name, std::int64_t def) const;
   double GetDouble(const std::string& name, double def) const;
   bool GetBool(const std::string& name, bool def) const;
+
+  // Uniform thread-count flag validation for every binary: absent ->
+  // `def` (0 means "whole machine" to downstream consumers); an explicit
+  // value must lie in [1, kMaxThreadsFlag]. Zero, negative, and absurd
+  // values raise std::runtime_error — a worker count of 0 silently
+  // becoming "serial" or "-3" wrapping through a cast are both config
+  // mistakes the binary should refuse, not absorb.
+  int GetThreads(const std::string& name = "threads", int def = 0) const;
 
   // Comma-separated list of integers, e.g. "--ks 4,6,8".
   std::vector<std::int64_t> GetIntList(

@@ -129,7 +129,7 @@ std::string RunReportJson(const TelemetryRegistry& registry) {
 
 std::string LoadImbalanceSummary(const TelemetryRegistry& registry) {
   const TelemetrySnapshot snap = registry.Snapshot();
-  constexpr const char kSuffix[] = "thread_busy_seconds";
+  constexpr const char kSuffix[] = "busy_seconds";
   constexpr int kBarWidth = 40;
 
   std::ostringstream os;
@@ -142,6 +142,8 @@ std::string LoadImbalanceSummary(const TelemetryRegistry& registry) {
 
     const double max = *std::max_element(values.begin(), values.end());
     const double min = *std::min_element(values.begin(), values.end());
+    // Series length == realized team (the executor sizes them inside the
+    // region), so the readout never shows phantom zero-slots.
     os << name << " (" << values.size() << " threads)\n";
     for (std::size_t t = 0; t < values.size(); ++t) {
       const int bar =

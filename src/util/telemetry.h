@@ -111,9 +111,13 @@ class TelemetryRegistry {
 // the output is byte-stable for identical registries.
 std::string RunReportJson(const TelemetryRegistry& registry);
 
-// ASCII summary of every per-thread busy-time series (names ending in
-// "thread_busy_seconds"): per-thread bars plus min/max/mean/CoV, the
-// Section IV load-balance readout. Empty string when no such series exists.
+// ASCII summary of every per-worker busy-time series (names ending in
+// "busy_seconds": "count.thread_busy_seconds",
+// "exec.worker_busy_seconds", ...): per-thread bars plus
+// min/max/mean/CoV, the Section IV load-balance readout. Series are
+// sized to the realized team by their writers, so the bars never include
+// phantom slots for undelivered threads. Empty string when no such
+// series exists.
 std::string LoadImbalanceSummary(const TelemetryRegistry& registry);
 
 // Writes RunReportJson(registry) to `path` (plus a trailing newline).

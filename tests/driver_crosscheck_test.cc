@@ -4,6 +4,10 @@
 // CountCliques (vertex-parallel) and CountCliquesEdgeParallel decompose
 // the same recursion differently; comparing them on random graphs for
 // every k, structure, and per-vertex attribution keeps them from drifting.
+// The forced-split section pins the executor's long-tail splitting path:
+// with split_threshold = 1 every root with out-edges becomes edge-slice
+// subtasks, so the split decomposition (including the singleton fixup)
+// carries the entire count and must still match brute force.
 #include <gtest/gtest.h>
 
 #include <omp.h>
@@ -16,6 +20,7 @@
 #include "pivot/pivotscale.h"
 #include "test_helpers.h"
 #include "util/binomial.h"
+#include "util/telemetry.h"
 
 namespace pivotscale {
 namespace {
@@ -111,6 +116,90 @@ INSTANTIATE_TEST_SUITE_P(
       name += std::to_string(param_info.param.seed);
       return name;
     });
+
+TEST_P(DriverCrosscheck, ForcedSplitMatchesBruteForce) {
+  // split_threshold = 1: the splitting path is not just exercised on the
+  // heavy tail, it carries the whole count.
+  const auto [n, p, seed] = GetParam();
+  const Graph g = BuildGraph(ErdosRenyi(n, p, seed + 3000));
+  const Graph dag = MakeDag(g, OrderingKind::kCore);
+  for (std::uint32_t k = 1; k <= 6; ++k) {
+    CountOptions options;
+    options.k = k;
+    options.structure = SubgraphKind::kRemap;
+    options.split_threshold = 1;
+    const CountResult split = CountCliques(dag, options);
+    EXPECT_EQ(split.total.value(),
+              static_cast<uint128>(BruteForceCount(g, k)))
+        << "forced-split k=" << k;
+  }
+}
+
+TEST_P(DriverCrosscheck, ForcedSplitPerVertexAndAllKAgreeWithUnsplit) {
+  const auto [n, p, seed] = GetParam();
+  const Graph g = BuildGraph(ErdosRenyi(n, p, seed + 4000));
+  const Graph dag = MakeDag(g, OrderingKind::kDegree);
+
+  CountOptions base;
+  base.k = 4;
+  base.structure = SubgraphKind::kRemap;
+  base.per_vertex = true;
+  base.split_threshold = kNeverSplit;
+  const CountResult whole = CountCliques(dag, base);
+
+  CountOptions split_options = base;
+  split_options.split_threshold = 1;
+  const CountResult split = CountCliques(dag, split_options);
+  EXPECT_EQ(split.total, whole.total);
+  ASSERT_EQ(split.per_vertex.size(), whole.per_vertex.size());
+  for (NodeId v = 0; v < g.NumNodes(); ++v)
+    EXPECT_EQ(split.per_vertex[v], whole.per_vertex[v]) << "v=" << v;
+
+  CountOptions all_k = split_options;
+  all_k.per_vertex = false;
+  all_k.mode = CountMode::kAllK;
+  CountOptions all_k_whole = all_k;
+  all_k_whole.split_threshold = kNeverSplit;
+  const CountResult split_all = CountCliques(dag, all_k);
+  const CountResult whole_all = CountCliques(dag, all_k_whole);
+  const std::size_t sizes =
+      std::min(split_all.per_size.size(), whole_all.per_size.size());
+  for (std::size_t s = 1; s < sizes; ++s)
+    EXPECT_EQ(split_all.per_size[s], whole_all.per_size[s]) << "size=" << s;
+}
+
+TEST(ForcedSplit, NonRemapStructuresIgnoreThresholdAndStayCorrect) {
+  // Dense/Sparse structures cannot run edge subtasks (no BuildPair);
+  // split_threshold must be ignored, not mis-applied.
+  const Graph g = BuildGraph(ErdosRenyi(50, 0.2, 7));
+  const Graph dag = MakeDag(g, OrderingKind::kCore);
+  const std::uint64_t truth = BruteForceCount(g, 4);
+  for (auto kind : {SubgraphKind::kDense, SubgraphKind::kSparse}) {
+    CountOptions options;
+    options.k = 4;
+    options.structure = kind;
+    options.split_threshold = 1;
+    const CountResult result = CountCliques(dag, options);
+    EXPECT_EQ(result.total.value(), static_cast<uint128>(truth))
+        << SubgraphKindName(kind);
+  }
+}
+
+TEST(ForcedSplit, SplitTelemetryReportsEveryEligibleRoot) {
+  const Graph g = BuildGraph(CompleteGraph(16));
+  const Graph dag = MakeDag(g, OrderingKind::kDegree);
+  TelemetryRegistry telemetry;
+  CountOptions options;
+  options.k = 4;
+  options.structure = SubgraphKind::kRemap;
+  options.split_threshold = 1;
+  options.telemetry = &telemetry;
+  const CountResult result = CountCliques(dag, options);
+  EXPECT_EQ(result.total.value(), BinomialChoose(16, 4));
+  // K16 under a total order: 15 roots have out-edges, the last has none.
+  EXPECT_EQ(telemetry.Counter("count.splits"), 15u);
+  EXPECT_EQ(telemetry.Counter("exec.splits"), 15u);
+}
 
 TEST(DriverCrosscheck, PlantedCliquesDeepK) {
   // Clique-rich input exercises the deep pivoting branches of both

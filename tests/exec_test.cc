@@ -1,0 +1,283 @@
+// Unit tests for the unified execution layer (src/exec/) and the shared
+// --threads flag validation (util/cli.h):
+//   * ThreadBudget lease accounting: grant rules, min-1 progress, release
+//   * BuildChunkBounds invariants in uniform and cost-weighted modes
+//   * ParallelFor / ParallelReduce / ParallelForWorkers correctness and
+//     realized-team-sized ExecStats
+//   * exec.* telemetry emitted by a region
+//   * ArgParser::GetThreads rejecting 0 / negative / absurd values
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <numeric>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "exec/executor.h"
+#include "exec/thread_budget.h"
+#include "util/cli.h"
+#include "util/telemetry.h"
+
+namespace pivotscale {
+namespace {
+
+// ------------------------------------------------------------ ThreadBudget
+
+TEST(ThreadBudget, GrantsUpToCapacityAndReleasesOnDestruction) {
+  ThreadBudget budget(4);
+  EXPECT_EQ(budget.capacity(), 4);
+  EXPECT_EQ(budget.in_use(), 0);
+  {
+    ThreadLease lease = budget.Acquire(3);
+    EXPECT_EQ(lease.threads(), 3);
+    EXPECT_EQ(budget.in_use(), 3);
+  }
+  EXPECT_EQ(budget.in_use(), 0);
+}
+
+TEST(ThreadBudget, RequestZeroMeansEverythingFree) {
+  ThreadBudget budget(4);
+  ThreadLease first = budget.Acquire(1);
+  ThreadLease rest = budget.Acquire(0);
+  EXPECT_EQ(rest.threads(), 3);
+  EXPECT_EQ(budget.in_use(), 4);
+}
+
+TEST(ThreadBudget, AbsurdRequestIsCappedAtCapacity) {
+  ThreadBudget budget(2);
+  ThreadLease lease = budget.Acquire(1'000'000);
+  EXPECT_EQ(lease.threads(), 2);
+}
+
+TEST(ThreadBudget, ExhaustedBudgetStillGrantsOneThread) {
+  // The min-1 progress rule: a lease is never 0 threads, so a counting
+  // run that arrives while the machine is fully leased still advances
+  // (the busy total may exceed capacity by one per concurrent lease —
+  // never multiplicatively).
+  ThreadBudget budget(2);
+  ThreadLease all = budget.Acquire(0);
+  EXPECT_EQ(all.threads(), 2);
+  ThreadLease extra = budget.Acquire(2);
+  EXPECT_EQ(extra.threads(), 1);
+  EXPECT_EQ(budget.in_use(), 3);
+}
+
+TEST(ThreadBudget, MoveTransfersTheGrant) {
+  ThreadBudget budget(4);
+  ThreadLease a = budget.Acquire(2);
+  ThreadLease b = std::move(a);
+  EXPECT_EQ(a.threads(), 0);
+  EXPECT_EQ(b.threads(), 2);
+  EXPECT_EQ(budget.in_use(), 2);
+  b = ThreadLease();
+  EXPECT_EQ(budget.in_use(), 0);
+}
+
+TEST(ThreadBudget, SetCapacityAppliesToLaterLeases) {
+  ThreadBudget budget(8);
+  budget.SetCapacity(2);
+  EXPECT_EQ(budget.capacity(), 2);
+  ThreadLease lease = budget.Acquire(0);
+  EXPECT_EQ(lease.threads(), 2);
+}
+
+TEST(ThreadBudget, GlobalCapacityIsPositive) {
+  EXPECT_GE(ThreadBudget::Global().capacity(), 1);
+}
+
+// --------------------------------------------------------- chunk geometry
+
+void ExpectValidBounds(const std::vector<std::size_t>& bounds,
+                       std::size_t n) {
+  ASSERT_GE(bounds.size(), 1u);
+  EXPECT_EQ(bounds.front(), 0u);
+  if (n == 0) {
+    EXPECT_EQ(bounds.size(), 1u);  // zero chunks
+    return;
+  }
+  EXPECT_EQ(bounds.back(), n);
+  for (std::size_t c = 1; c < bounds.size(); ++c)
+    EXPECT_LT(bounds[c - 1], bounds[c]) << "chunk " << c;
+}
+
+TEST(ChunkBounds, UniformModeCoversRangeExactly) {
+  ExecOptions options;
+  options.chunks_per_worker = 4;
+  const auto bounds = exec_detail::BuildChunkBounds(100, 2, options);
+  ExpectValidBounds(bounds, 100);
+  EXPECT_GE(bounds.size() - 1, 2u);   // more than one chunk for 100 items
+  EXPECT_LE(bounds.size() - 1, 8u);   // at most team * chunks_per_worker
+}
+
+TEST(ChunkBounds, EmptyRangeYieldsZeroChunks) {
+  ExecOptions options;
+  const auto bounds = exec_detail::BuildChunkBounds(0, 4, options);
+  ExpectValidBounds(bounds, 0);
+}
+
+TEST(ChunkBounds, GrainIsAFloorOnChunkSize) {
+  ExecOptions options;
+  options.grain = 25;
+  options.chunks_per_worker = 16;
+  const auto bounds = exec_detail::BuildChunkBounds(100, 4, options);
+  ExpectValidBounds(bounds, 100);
+  for (std::size_t c = 1; c < bounds.size(); ++c)
+    EXPECT_GE(bounds[c] - bounds[c - 1], 25u) << "chunk " << c;
+}
+
+TEST(ChunkBounds, CostWeightedCutsEqualizeEstimatedWork) {
+  // Item 0 carries ~as much estimated work as the rest combined: the
+  // first cut must come right after it instead of waiting for n/chunks
+  // items.
+  ExecOptions options;
+  options.chunks_per_worker = 2;
+  options.cost = [](std::size_t i) { return i == 0 ? 1000.0 : 1.0; };
+  const auto bounds = exec_detail::BuildChunkBounds(1000, 2, options);
+  ExpectValidBounds(bounds, 1000);
+  ASSERT_GE(bounds.size(), 3u);
+  EXPECT_LE(bounds[1], 10u) << "heavy head item should end its chunk early";
+}
+
+TEST(ChunkBounds, CostWeightedRespectsGrain) {
+  ExecOptions options;
+  options.grain = 10;
+  options.chunks_per_worker = 64;
+  options.cost = [](std::size_t) { return 1.0; };
+  const auto bounds = exec_detail::BuildChunkBounds(200, 4, options);
+  ExpectValidBounds(bounds, 200);
+  // Every chunk but the last must honor the grain floor (the tail keeps
+  // whatever is left).
+  for (std::size_t c = 1; c + 1 < bounds.size(); ++c)
+    EXPECT_GE(bounds[c] - bounds[c - 1], 10u) << "chunk " << c;
+}
+
+// ------------------------------------------------------- region semantics
+
+TEST(Executor, ParallelForVisitsEveryIndexExactlyOnce) {
+  constexpr std::size_t kN = 5000;
+  std::vector<int> visits(kN, 0);
+  ExecOptions options;
+  options.num_threads = 2;
+  const ExecStats stats =
+      ParallelFor(kN, options, [&visits](std::size_t i) { ++visits[i]; });
+  for (std::size_t i = 0; i < kN; ++i) EXPECT_EQ(visits[i], 1) << i;
+  EXPECT_EQ(stats.tasks, kN);
+  EXPECT_GE(stats.team, 1);
+}
+
+TEST(Executor, ParallelReduceMatchesClosedForm) {
+  constexpr std::size_t kN = 4097;
+  ExecOptions options;
+  options.num_threads = 2;
+  const std::uint64_t total = ParallelReduce(
+      kN, options, std::uint64_t{0},
+      [](std::uint64_t& acc, std::size_t i) { acc += i; },
+      [](std::uint64_t& into, std::uint64_t from) { into += from; });
+  EXPECT_EQ(total, kN * (kN - 1) / 2);
+}
+
+TEST(Executor, StatsAreSizedToRealizedTeam) {
+  ExecOptions options;
+  options.num_threads = 2;
+  const ExecStats stats = ParallelFor(1000, options, [](std::size_t) {});
+  ASSERT_GE(stats.team, 1);
+  EXPECT_EQ(stats.worker_busy_seconds.size(),
+            static_cast<std::size_t>(stats.team));
+  EXPECT_EQ(stats.worker_chunks.size(),
+            static_cast<std::size_t>(stats.team));
+  const std::uint64_t chunks_run = std::accumulate(
+      stats.worker_chunks.begin(), stats.worker_chunks.end(),
+      std::uint64_t{0});
+  EXPECT_EQ(chunks_run, stats.chunks);
+  EXPECT_GT(stats.chunks, 0u);
+}
+
+TEST(Executor, EveryRealizedWorkerIsMergedOnce) {
+  ExecOptions options;
+  options.num_threads = 2;
+  int built = 0;
+  int merged = 0;
+  ParallelForWorkers(
+      100, options,
+      [&built](int) {
+        ++built;  // workers are constructed inside the region, one per tid
+        return 0;
+      },
+      [](int& acc, std::size_t) { ++acc; },
+      [&merged](int& acc) {
+        ++merged;
+        EXPECT_GE(acc, 0);
+      });
+  EXPECT_EQ(merged, built);
+  EXPECT_GE(built, 1);
+}
+
+TEST(Executor, EmptyRangeStillMergesWorkers) {
+  ExecOptions options;
+  int merged = 0;
+  const ExecStats stats = ParallelForWorkers(
+      0, options, [](int) { return 0; }, [](int&, std::size_t) {},
+      [&merged](int&) { ++merged; });
+  EXPECT_EQ(stats.chunks, 0u);
+  EXPECT_GE(merged, 1);
+}
+
+TEST(Executor, RegionRecordsExecTelemetry) {
+  TelemetryRegistry telemetry;
+  ExecOptions options;
+  options.num_threads = 2;
+  options.splits = 7;
+  options.telemetry = &telemetry;
+  ParallelFor(500, options, [](std::size_t) {});
+  EXPECT_EQ(telemetry.Counter("exec.regions"), 1u);
+  EXPECT_EQ(telemetry.Counter("exec.tasks"), 500u);
+  EXPECT_GT(telemetry.Counter("exec.chunks"), 0u);
+  EXPECT_EQ(telemetry.Counter("exec.splits"), 7u);
+  const std::vector<double> busy =
+      telemetry.Series("exec.worker_busy_seconds");
+  EXPECT_EQ(busy.size(), static_cast<std::size_t>(telemetry.Gauge("exec.team")));
+  EXPECT_TRUE(telemetry.HasSpan("exec.region_wall"));
+}
+
+// --------------------------------------------------- --threads validation
+
+ArgParser ParseArgs(std::vector<std::string> args) {
+  std::vector<char*> argv;
+  argv.reserve(args.size());
+  for (std::string& arg : args) argv.push_back(arg.data());
+  return ArgParser(static_cast<int>(argv.size()), argv.data());
+}
+
+TEST(ThreadsFlag, AbsentFallsBackToDefault) {
+  EXPECT_EQ(ParseArgs({"bin"}).GetThreads(), 0);
+  EXPECT_EQ(ParseArgs({"bin"}).GetThreads("workers", 2), 2);
+}
+
+TEST(ThreadsFlag, ExplicitValueInRangeIsAccepted) {
+  EXPECT_EQ(ParseArgs({"bin", "--threads", "3"}).GetThreads(), 3);
+  EXPECT_EQ(ParseArgs({"bin", "--threads=1"}).GetThreads(), 1);
+  EXPECT_EQ(ParseArgs({"bin", "--threads", "4096"}).GetThreads(), 4096);
+  EXPECT_EQ(ParseArgs({"bin", "--workers=8"}).GetThreads("workers", 2), 8);
+}
+
+TEST(ThreadsFlag, ZeroNegativeAndAbsurdAreRejected) {
+  EXPECT_THROW(ParseArgs({"bin", "--threads", "0"}).GetThreads(),
+               std::runtime_error);
+  EXPECT_THROW(ParseArgs({"bin", "--threads=-3"}).GetThreads(),
+               std::runtime_error);
+  EXPECT_THROW(ParseArgs({"bin", "--threads", "4097"}).GetThreads(),
+               std::runtime_error);
+  EXPECT_THROW(ParseArgs({"bin", "--threads", "100000"}).GetThreads(),
+               std::runtime_error);
+  EXPECT_THROW(ParseArgs({"bin", "--workers=0"}).GetThreads("workers", 2),
+               std::runtime_error);
+}
+
+TEST(ThreadsFlag, UnparseableValueIsRejected) {
+  EXPECT_THROW(ParseArgs({"bin", "--threads", "two"}).GetThreads(),
+               std::runtime_error);
+}
+
+}  // namespace
+}  // namespace pivotscale

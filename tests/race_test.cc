@@ -7,7 +7,9 @@
 //   * QueryEngine LRU cache eviction under mixed-k batches on a byte
 //     budget too small for the working set
 //   * WorkerPool admission-queue shed/drain accounting
-//   * concurrent OpenMP counting runs (per-thread subgraph pools)
+//   * concurrent executor counting runs (per-thread subgraph pools)
+//   * executor reduction slots + chunk cursor + thread-budget ledger
+//     under concurrent ParallelReduce / forced-split counting runs
 #include <gtest/gtest.h>
 
 #include <atomic>
@@ -20,6 +22,7 @@
 #include <thread>
 #include <vector>
 
+#include "exec/executor.h"
 #include "graph/builder.h"
 #include "graph/generators.h"
 #include "net/worker_pool.h"
@@ -275,12 +278,86 @@ TEST(RaceTest, WorkerPoolShedsAndDrainsWithExactAccounting) {
   (void)truth;
 }
 
-// -------------------------------------------------- OpenMP counting runs
+// ---------------------------------------------- executor reduction slots
+
+TEST(RaceTest, ReductionSlotsAccumulateExactlyUnderContention) {
+  // Per-worker reduction slots replaced every `#pragma omp critical`
+  // merge: each worker owns one slot, the merge walks them serially after
+  // the region. Several std::threads run reductions simultaneously so the
+  // slots, the atomic chunk cursor, and the thread-budget ledger all see
+  // contention — each reduction must still produce the exact closed-form
+  // total, and TSan must see no conflicting access.
+  constexpr int kThreads = 4;
+  constexpr int kRunsPerThread = 8;
+  constexpr std::size_t kN = 10'000;
+  constexpr std::uint64_t kWant = kN * (kN - 1) / 2;  // sum of 0..kN-1
+
+  std::atomic<int> mismatches{0};
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&mismatches, t] {
+      for (int run = 0; run < kRunsPerThread; ++run) {
+        ExecOptions options;
+        options.num_threads = 2;
+        // Vary the chunk geometry run to run, and alternate between
+        // uniform and heavily skewed cost models, so every chunking mode
+        // hits the cursor concurrently.
+        options.chunks_per_worker = 1 + (t + run) % 7;
+        if (run % 2 == 1)
+          options.cost = [](std::size_t i) {
+            return static_cast<double>(i);
+          };
+        const std::uint64_t total = ParallelReduce(
+            kN, options, std::uint64_t{0},
+            [](std::uint64_t& acc, std::size_t i) { acc += i; },
+            [](std::uint64_t& into, std::uint64_t from) { into += from; });
+        if (total != kWant) mismatches.fetch_add(1);
+      }
+    });
+  }
+  JoinAll(threads);
+  EXPECT_EQ(mismatches.load(), 0);
+}
+
+TEST(RaceTest, ForcedSplitCountingRunsAgreeUnderConcurrency) {
+  // split_threshold = 1 turns every root into edge-slice subtasks plus a
+  // singleton fixup; run that decomposition from several driver threads
+  // at once so the scheduler, the splits accounting, and the per-worker
+  // counter merge all race against each other.
+  const Graph g = SmallCliqueGraph(66);
+  const Graph dag = testing_helpers::MakeDag(g, OrderingKind::kCore);
+  constexpr std::uint32_t kK = 4;
+  const std::uint64_t truth = testing_helpers::BruteForceCount(g, kK);
+
+  constexpr int kThreads = 3;
+  constexpr int kRunsPerThread = 3;
+  std::atomic<int> mismatches{0};
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&dag, truth, &mismatches] {
+      for (int run = 0; run < kRunsPerThread; ++run) {
+        CountOptions options;
+        options.k = kK;
+        options.num_threads = 2;
+        options.structure = SubgraphKind::kRemap;
+        options.split_threshold = 1;
+        const CountResult result = CountCliques(dag, options);
+        if (result.total != BigCount{truth}) mismatches.fetch_add(1);
+      }
+    });
+  }
+  JoinAll(threads);
+  EXPECT_EQ(mismatches.load(), 0);
+}
+
+// ------------------------------------------------ executor counting runs
 
 TEST(RaceTest, ConcurrentOpenMpCountingRunsAgree) {
-  // Two std::threads each running the OpenMP counting driver: nested
-  // parallelism over the per-thread subgraph pools. Every run must land
-  // on the brute-force count regardless of interleaving.
+  // Two std::threads each running the executor-backed counting driver:
+  // concurrent leases over the per-thread subgraph pools. Every run must
+  // land on the brute-force count regardless of interleaving.
   const Graph g = SmallCliqueGraph(55);
   const Graph dag = testing_helpers::MakeDag(g, OrderingKind::kCore);
   constexpr std::uint32_t kK = 4;
